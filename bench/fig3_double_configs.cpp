@@ -1,0 +1,13 @@
+// Figure 3 (a-f): performance and energy analysis for GEMM and POTRF on
+// all three platforms in DOUBLE precision, across the GPU power
+// configuration ladder (L*, B*, H).
+#include "fig_configs_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto cli = greencap::bench::Cli::parse(argc, argv);
+  greencap::bench::run_config_figure(cli, greencap::hw::Precision::kDouble, "Fig. 3");
+  std::cout << "\nPaper anchors (32-AMD-4-A100, double): BBBB ~ +20 % efficiency at ~ -21 % "
+               "performance; LLLL ~ -80 % performance and ~ +60 % energy consumption; HHHB "
+               "saves ~4 % energy.\n";
+  return 0;
+}

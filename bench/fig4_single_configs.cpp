@@ -1,0 +1,13 @@
+// Figure 4 (a-f): the same configuration ladder in SINGLE precision, where
+// capping gains are larger (paper: +33.78 % efficiency for GEMM BBBB on
+// the 4-GPU node, HHBB trading ~9.5 % energy for ~14.6 % performance).
+#include "fig_configs_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto cli = greencap::bench::Cli::parse(argc, argv);
+  greencap::bench::run_config_figure(cli, greencap::hw::Precision::kSingle, "Fig. 4");
+  std::cout << "\nPaper anchors (32-AMD-4-A100, single): BBBB +33.78 % efficiency for GEMM; "
+               "POTRF ~ -25 % energy at -28.6 % performance; on 64-AMD-2-A100 LL and BB "
+               "coincide (both 150 W).\n";
+  return 0;
+}

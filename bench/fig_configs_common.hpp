@@ -1,0 +1,41 @@
+// Shared driver for Figures 3 and 4: the full GPU-power-configuration
+// ladder on all three platforms for both task-based operations, reporting
+// the same three series as the paper — % performance change, % energy
+// change (positive = savings) and energy efficiency in Gflop/s/W.
+#pragma once
+
+#include "harness.hpp"
+#include "hw/presets.hpp"
+
+namespace greencap::bench {
+
+inline void run_config_figure(const Cli& cli, hw::Precision precision, const char* figure_name) {
+  for (const std::string platform :
+       {"32-AMD-4-A100", "64-AMD-2-A100", "24-Intel-2-V100"}) {
+    for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
+      const auto row = core::paper::table_ii_row(platform, op, precision);
+      const std::size_t gpus = hw::presets::platform_by_name(platform).gpus.size();
+
+      const core::ExperimentResult baseline = core::run_experiment(
+          experiment_for(row, power::GpuConfig::uniform(gpus, power::Level::kHigh).to_string()));
+
+      core::Table table{{"config", "perf delta %", "energy delta %", "efficiency Gf/s/W",
+                         "Gflop/s", "energy J", "time s", "cpu tasks"}};
+      for (const auto& cfg : power::standard_ladder(gpus)) {
+        const core::ExperimentResult r =
+            cfg.is_default() ? baseline : core::run_experiment(experiment_for(row, cfg.to_string()));
+        table.add_row({cfg.to_string(), core::fmt_pct(r.perf_delta_pct(baseline)),
+                       core::fmt_pct(r.energy_saving_pct(baseline)),
+                       core::fmt(r.efficiency_gflops_per_w, 2), core::fmt(r.gflops, 0),
+                       core::fmt(r.total_energy_j, 0), core::fmt(r.time_s, 2),
+                       std::to_string(r.cpu_tasks)});
+      }
+      emit(table, cli,
+           std::string(figure_name) + " — " + platform + " " + core::to_string(op) + " (" +
+               hw::to_string(precision) + ", N=" + std::to_string(row.n) +
+               ", Nt=" + std::to_string(row.nb) + ")");
+    }
+  }
+}
+
+}  // namespace greencap::bench

@@ -1,0 +1,68 @@
+// Shared helpers for the benchmark binaries.
+//
+// Each binary regenerates one table or figure of the paper: it runs the
+// full protocol through the library, prints the rows/series the paper
+// reports as an aligned text table, and (with --csv) additionally emits
+// machine-readable CSV to stdout.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/paper_params.hpp"
+#include "core/report.hpp"
+
+namespace greencap::bench {
+
+struct Cli {
+  bool csv = false;
+  bool quick = false;  ///< coarser sweeps for smoke runs
+
+  static Cli parse(int argc, char** argv) {
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--csv") {
+        cli.csv = true;
+      } else if (arg == "--quick") {
+        cli.quick = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: " << argv[0] << " [--csv] [--quick]\n"
+                  << "  --csv    also emit CSV after each table\n"
+                  << "  --quick  coarser sweeps (CI smoke mode)\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        std::exit(2);
+      }
+    }
+    return cli;
+  }
+};
+
+inline void emit(const core::Table& table, const Cli& cli, const std::string& title) {
+  core::print_banner(std::cout, title);
+  table.print(std::cout);
+  if (cli.csv) {
+    std::cout << "--- csv ---\n";
+    table.write_csv(std::cout);
+  }
+  std::cout.flush();
+}
+
+/// Builds the experiment config for one Table II row under a GPU config.
+inline core::ExperimentConfig experiment_for(const core::paper::TableIIRow& row,
+                                             const std::string& gpu_cfg) {
+  core::ExperimentConfig cfg;
+  cfg.platform = row.platform;
+  cfg.op = row.op;
+  cfg.precision = row.precision;
+  cfg.n = row.n;
+  cfg.nb = row.nb;
+  cfg.gpu_config = power::GpuConfig::parse(gpu_cfg);
+  return cfg;
+}
+
+}  // namespace greencap::bench

@@ -1,0 +1,41 @@
+// Section V-D: the paper's headline numbers, regenerated.
+//
+//   * best efficiency with all GPUs at B: +24.3 % (slowdown 26.41 %)
+//   * subset capping trade-off:           +9.28 % (slowdown 12.32 %)
+//   * CPU capping adds ~8 % with no performance loss
+#include "harness.hpp"
+#include "hw/presets.hpp"
+
+using namespace greencap;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli = bench::Cli::parse(argc, argv);
+
+  // Flagship platform, GEMM double (the paper's headline case).
+  const auto row =
+      core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
+  const auto base = core::run_experiment(bench::experiment_for(row, "HHHH"));
+  const auto bbbb = core::run_experiment(bench::experiment_for(row, "BBBB"));
+  const auto hhbb = core::run_experiment(bench::experiment_for(row, "HHBB"));
+
+  core::Table headline{{"finding", "efficiency gain % (ours)", "paper", "slowdown % (ours)",
+                        "paper"}};
+  headline.add_row({"all GPUs at P_best (BBBB)", core::fmt(bbbb.efficiency_gain_pct(base), 2),
+                    "+24.3", core::fmt(-bbbb.perf_delta_pct(base), 2), "26.41"});
+  headline.add_row({"subset capping (HHBB)", core::fmt(hhbb.efficiency_gain_pct(base), 2),
+                    "+9.28", core::fmt(-hhbb.perf_delta_pct(base), 2), "12.32"});
+
+  // CPU capping leverage on the V100 platform (BB config, GEMM double).
+  const auto vrow =
+      core::paper::table_ii_row("24-Intel-2-V100", core::Operation::kGemm, hw::Precision::kDouble);
+  core::ExperimentConfig vcfg = bench::experiment_for(vrow, "BB");
+  const auto v_plain = core::run_experiment(vcfg);
+  vcfg.cpu_cap = core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
+  const auto v_capped = core::run_experiment(vcfg);
+  headline.add_row({"CPU power capping (BB, cpu1@48%)",
+                    core::fmt(v_capped.efficiency_gain_pct(v_plain), 2), "~+8",
+                    core::fmt(-v_capped.perf_delta_pct(v_plain), 2), "~0"});
+
+  bench::emit(headline, cli, "Section V-D — headline results");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table I: best energy-efficiency configuration per GPU and precision
+// from the single-kernel GEMM study — measured vs. the published values.
+#include "harness.hpp"
+#include "hw/presets.hpp"
+#include "power/sweep.hpp"
+
+using namespace greencap;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli = bench::Cli::parse(argc, argv);
+
+  core::Table table{{"GPU", "precision", "matrix size", "cap %TDP (ours)", "cap %TDP (paper)",
+                     "eff saving % (ours)", "eff saving % (paper)", "slowdown %"}};
+  for (const auto& row : core::paper::table_i()) {
+    const auto sweep = power::sweep_gemm_caps(hw::presets::gpu_by_name(row.gpu), row.precision,
+                                              row.matrix_size, cli.quick ? 4.0 : 2.0);
+    table.add_row({row.gpu, hw::to_string(row.precision), std::to_string(row.matrix_size),
+                   core::fmt(sweep.best().cap_pct_tdp, 0),
+                   core::fmt(row.published_best_pct_tdp, 0),
+                   core::fmt(sweep.efficiency_saving_pct(), 2),
+                   core::fmt(row.published_saving_pct, 2), core::fmt(sweep.slowdown_pct(), 2)});
+  }
+  bench::emit(table, cli, "Table I — best configuration for energy efficiency per GPU/precision");
+  return 0;
+}

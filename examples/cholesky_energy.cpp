@@ -1,0 +1,80 @@
+// Cholesky factorization with a per-device energy breakdown and worker
+// utilization report — the view behind the paper's Fig. 5, including the
+// task shift from GPUs to CPUs when power caps tighten.
+//
+//   $ ./cholesky_energy [HH|HB|BB|LL|...]     (default: compare HH and LL)
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/paper_params.hpp"
+#include "core/report.hpp"
+
+using namespace greencap;
+
+namespace {
+
+void report(const core::ExperimentResult& r) {
+  std::printf("\n--- configuration %s ---\n", r.config.gpu_config.to_string().c_str());
+  std::printf("time %.2f s | %.0f Gflop/s | %.0f J | %.2f Gflop/s/W\n", r.time_s, r.gflops,
+              r.total_energy_j, r.efficiency_gflops_per_w);
+  std::printf("tasks: %llu on GPUs, %llu on CPUs\n",
+              static_cast<unsigned long long>(r.gpu_tasks),
+              static_cast<unsigned long long>(r.cpu_tasks));
+  core::Table devices{{"device", "energy J", "share %"}};
+  for (std::size_t i = 0; i < r.energy.cpu_joules.size(); ++i) {
+    devices.add_row({"cpu" + std::to_string(i), core::fmt(r.energy.cpu_joules[i], 0),
+                     core::fmt(r.energy.cpu_joules[i] / r.total_energy_j * 100, 1)});
+  }
+  for (std::size_t i = 0; i < r.energy.gpu_joules.size(); ++i) {
+    devices.add_row({"gpu" + std::to_string(i), core::fmt(r.energy.gpu_joules[i], 0),
+                     core::fmt(r.energy.gpu_joules[i] / r.total_energy_j * 100, 1)});
+  }
+  devices.print(std::cout);
+
+  core::Table workers{{"worker", "arch", "tasks", "busy %"}};
+  for (const auto& w : r.stats.per_worker) {
+    if (w.tasks == 0 && w.arch == rt::WorkerArch::kCpuCore) {
+      continue;  // keep the report short: skip idle CPU cores
+    }
+    workers.add_row({std::to_string(w.id), rt::to_string(w.arch), std::to_string(w.tasks),
+                     core::fmt(w.busy_fraction * 100, 1)});
+  }
+  workers.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto row = core::paper::table_ii_row("24-Intel-2-V100", core::Operation::kPotrf,
+                                             hw::Precision::kDouble);
+  core::ExperimentConfig cfg;
+  cfg.platform = row.platform;
+  cfg.op = row.op;
+  cfg.precision = row.precision;
+  cfg.n = row.n;
+  cfg.nb = row.nb;
+
+  std::vector<std::string> configs;
+  for (int i = 1; i < argc; ++i) {
+    configs.emplace_back(argv[i]);
+  }
+  if (configs.empty()) {
+    configs = {"HH", "LL"};
+  }
+
+  std::printf("Tile Cholesky (POTRF) on %s, N=%lld, Nt=%d, double precision\n",
+              row.platform.c_str(), static_cast<long long>(row.n), row.nb);
+  for (const std::string& name : configs) {
+    cfg.gpu_config = power::GpuConfig::parse(name);
+    report(core::run_experiment(cfg));
+  }
+  std::printf(
+      "\nNote how capping the GPUs (e.g. LL) raises the CPUs' task count and energy\n"
+      "share: the dmdas scheduler reroutes work to the now-relatively-faster CPU\n"
+      "cores, and since CPUs are far less energy-efficient, total energy can rise\n"
+      "even though the GPUs draw less — the paper's central Fig. 5 observation.\n");
+  return 0;
+}

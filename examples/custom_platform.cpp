@@ -1,0 +1,97 @@
+// Building a custom node and a custom scheduling study with the public API:
+// an imaginary 8-GPU mixed node (4x A100-SXM4 + 4x V100) driven by each of
+// the six scheduling policies under an aggressive unbalanced configuration.
+// Demonstrates that the library is not hard-wired to the paper's three
+// Grid'5000 machines.
+//
+//   $ ./custom_platform
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "hw/presets.hpp"
+#include "la/calibration_sets.hpp"
+#include "la/codelets.hpp"
+#include "la/operations.hpp"
+#include "power/manager.hpp"
+#include "rt/calibration.hpp"
+#include "rt/runtime.hpp"
+
+using namespace greencap;
+
+namespace {
+
+hw::PlatformSpec mixed_node() {
+  hw::PlatformSpec spec;
+  spec.name = "8-GPU-mixed";
+  spec.cpus = {hw::presets::epyc_7513(), hw::presets::epyc_7513()};
+  spec.gpus = {hw::presets::a100_sxm4(), hw::presets::a100_sxm4(), hw::presets::a100_sxm4(),
+               hw::presets::a100_sxm4(), hw::presets::v100_pcie(), hw::presets::v100_pcie(),
+               hw::presets::v100_pcie(), hw::presets::v100_pcie()};
+  spec.gpu_link = hw::LinkSpec{.name = "pcie4-x16", .bandwidth_gbps = 20.0, .latency_us = 8.0};
+  return spec;
+}
+
+struct RunResult {
+  double gflops;
+  double efficiency;
+  double time_s;
+};
+
+RunResult run_with(const std::string& scheduler, const power::GpuConfig& config) {
+  hw::Platform platform{mixed_node()};
+  sim::Simulator simulator;
+
+  power::PowerManager manager{platform, simulator};
+  manager.resolve_best_caps(hw::Precision::kDouble, 5760);
+  manager.apply(config);
+
+  rt::RuntimeOptions options;
+  options.scheduler = scheduler;
+  rt::Runtime runtime{platform, simulator, options};
+  la::Codelets<double> codelets;
+  rt::Calibrator calibrator{runtime};
+  la::calibrate_codelets<double>(calibrator, codelets, {5760});
+
+  const std::int64_t n = 115200;  // 20x20 tiles of 5760
+  la::TileMatrix<double> a{n, 5760, false, "A"};
+  la::TileMatrix<double> b{n, 5760, false, "B"};
+  la::TileMatrix<double> c{n, 5760, false, "C"};
+  a.register_with(runtime);
+  b.register_with(runtime);
+  c.register_with(runtime);
+
+  const hw::EnergyReading start = platform.read_energy(simulator.now());
+  la::submit_gemm<double>(runtime, codelets, a, b, c);
+  runtime.wait_all();
+  const hw::EnergyReading used = platform.read_energy(simulator.now()) - start;
+
+  const double flops = la::flops::gemm_total(static_cast<double>(n));
+  const double time = runtime.stats().makespan.sec();
+  return RunResult{flops / time / 1e9, flops / used.total() / 1e9, time};
+}
+
+}  // namespace
+
+int main() {
+  // Cap the (already slower) V100 half of the node to its best-efficiency
+  // point and keep the A100s at full power: the mixed-archetype version of
+  // the paper's unbalanced configurations.
+  const auto config = power::GpuConfig::parse("HHHHBBBB");
+  std::printf("Custom node: 2x EPYC-7513 + 4x A100-SXM4 + 4x V100-PCIe, DGEMM N=115200\n");
+  std::printf("GPU power configuration: %s (A100s at TDP, V100s at P_best)\n\n",
+              config.to_string().c_str());
+
+  core::Table table{{"scheduler", "Gflop/s", "Gflop/s/W", "time s"}};
+  for (const char* scheduler : {"eager", "random", "ws", "dm", "dmda", "dmdas"}) {
+    const RunResult r = run_with(scheduler, config);
+    table.add_row({scheduler, core::fmt(r.gflops, 0), core::fmt(r.efficiency, 2),
+                   core::fmt(r.time_s, 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe model-driven dm/dmda/dmdas policies dominate eager/random here because the\n"
+      "node is doubly heterogeneous: two GPU generations AND unbalanced power caps.\n"
+      "Only the calibrated performance models let the scheduler weigh both effects.\n");
+  return 0;
+}

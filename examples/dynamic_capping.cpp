@@ -1,0 +1,69 @@
+// Online power capping: the DEPO-style controller converging toward the
+// best-efficiency cap during a long GEMM stream, with a live trace of its
+// decisions — the paper's "dynamic power capping" future-work item in
+// action.
+//
+//   $ ./dynamic_capping
+#include <cstdio>
+
+#include "hw/presets.hpp"
+#include "la/calibration_sets.hpp"
+#include "la/codelets.hpp"
+#include "la/operations.hpp"
+#include "la/tile_matrix.hpp"
+#include "power/dynamic.hpp"
+#include "power/sweep.hpp"
+#include "rt/calibration.hpp"
+
+using namespace greencap;
+
+int main() {
+  hw::Platform platform{hw::presets::platform_32_amd_4_a100()};
+  sim::Simulator simulator;
+  rt::Runtime runtime{platform, simulator, rt::RuntimeOptions{}};
+  la::Codelets<double> codelets;
+  rt::Calibrator calibrator{runtime};
+  la::calibrate_codelets<double>(calibrator, codelets, {5760});
+
+  // A long stream: 20x20 tiles of 5760 -> 8000 GEMM tasks, ~40 s virtual.
+  const std::int64_t n = 5760L * 20;
+  la::TileMatrix<double> a{n, 5760, false, "A"};
+  la::TileMatrix<double> b{n, 5760, false, "B"};
+  la::TileMatrix<double> c{n, 5760, false, "C"};
+  a.register_with(runtime);
+  b.register_with(runtime);
+  c.register_with(runtime);
+  la::submit_gemm<double>(runtime, codelets, a, b, c);
+
+  power::DynamicCapOptions options;
+  options.period = sim::SimTime::millis(500);
+  power::DynamicCapController controller{runtime, &calibrator, options};
+  controller.start();
+
+  // Sample the controller's state every virtual second while it runs.
+  std::printf("t [s]   cap [W]   window eff [Gflop/s/W]\n");
+  std::function<void()> sampler = [&] {
+    if (runtime.all_tasks_done()) return;
+    std::printf("%5.1f   %6.0f    %s\n", simulator.now().sec(),
+                platform.gpu(0).power_cap(),
+                controller.last_window_efficiency()
+                    ? std::to_string(*controller.last_window_efficiency()).c_str()
+                    : "-");
+    simulator.after(sim::SimTime::seconds(2.0), sampler);
+  };
+  simulator.after(sim::SimTime::seconds(2.0), sampler);
+
+  runtime.wait_all();
+
+  const double joules = platform.read_energy(runtime.stats().makespan).total();
+  const double eff = runtime.flops_completed() / joules / 1e9;
+  const double offline_best =
+      power::find_best_cap_w(hw::presets::a100_sxm4(), hw::Precision::kDouble, 5760);
+  std::printf("\nfinal cap      : %.0f W (offline P_best: %.0f W)\n",
+              platform.gpu(0).power_cap(), offline_best);
+  std::printf("adjustments    : %d\n", controller.adjustments());
+  std::printf("run efficiency : %.2f Gflop/s/W\n", eff);
+  std::printf("\nThe controller needed no offline sweep — it discovered the efficient "
+              "operating point from the same counters the paper's methodology reads.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Tiled LU factorization (the library's extension beyond the paper's two
+// operations) under unbalanced power capping, with numerical verification
+// and a critical-path report.
+//
+//   $ ./lu_factorization
+#include <cstdio>
+
+#include "hw/presets.hpp"
+#include "la/calibration_sets.hpp"
+#include "la/lu.hpp"
+#include "la/verify.hpp"
+#include "power/manager.hpp"
+#include "rt/analysis.hpp"
+#include "rt/calibration.hpp"
+
+using namespace greencap;
+
+int main() {
+  // --- 1. small verified run (kernels really execute) -----------------------
+  {
+    hw::Platform platform{hw::presets::platform_24_intel_2_v100()};
+    sim::Simulator simulator;
+    rt::RuntimeOptions options;
+    options.execute_kernels = true;
+    rt::Runtime runtime{platform, simulator, options};
+    la::LuCodelets<double> codelets;
+
+    const std::int64_t n = 96;
+    la::TileMatrix<double> a{n, 24};
+    sim::Xoshiro256 rng{7};
+    a.make_diagonally_dominant(rng);
+    a.register_with(runtime);
+
+    auto expected = a.to_dense();
+    la::reference_getrf<double>(n, expected);
+
+    la::submit_getrf<double>(runtime, codelets, a);
+    runtime.wait_all();
+    const double err = la::max_rel_error<double>(a.to_dense(), expected);
+    std::printf("LU %lld x %lld (verified): max rel error %.2e, %llu tasks\n",
+                static_cast<long long>(n), static_cast<long long>(n), err,
+                static_cast<unsigned long long>(runtime.stats().tasks_completed));
+  }
+
+  // --- 2. paper-scale run under unbalanced capping ---------------------------
+  for (const char* config : {"HHHH", "HHBB", "BBBB"}) {
+    hw::Platform platform{hw::presets::platform_32_amd_4_a100()};
+    sim::Simulator simulator;
+    power::PowerManager manager{platform, simulator};
+    manager.resolve_best_caps(hw::Precision::kDouble, 2880);
+    manager.apply(power::GpuConfig::parse(config));
+
+    rt::Runtime runtime{platform, simulator, rt::RuntimeOptions{}};
+    la::LuCodelets<double> codelets;
+    rt::Calibrator calibrator{runtime};
+    // LU reuses the shared gemm codelet plus its own panel/updates.
+    calibrator.calibrate(codelets.getrf(),
+                         {hw::KernelWork{hw::KernelClass::kGetrf, hw::Precision::kDouble,
+                                         la::flops_lu::getrf(2880), 2880}});
+    calibrator.calibrate(codelets.gemm(),
+                         {hw::KernelWork{hw::KernelClass::kGemm, hw::Precision::kDouble,
+                                         la::flops::gemm(2880), 2880}});
+
+    const std::int64_t n = 2880L * 40;
+    la::TileMatrix<double> a{n, 2880, false};
+    a.register_with(runtime);
+    la::submit_getrf<double>(runtime, codelets, a);
+
+    const hw::EnergyReading start = platform.read_energy(simulator.now());
+    runtime.wait_all();
+    const hw::EnergyReading used = platform.read_energy(simulator.now()) - start;
+
+    const double flops = la::flops_lu::lu_total(static_cast<double>(n));
+    const rt::CriticalPath cp = rt::critical_path(runtime);
+    std::printf(
+        "%s: %7.0f Gflop/s, %8.0f J, %5.2f Gflop/s/W | critical path %zu tasks "
+        "(%.1f %% of total work)\n",
+        config, flops / runtime.stats().makespan.sec() / 1e9, used.total(),
+        flops / used.total() / 1e9, cp.tasks.size(), cp.serial_fraction * 100.0);
+  }
+  std::printf("\nSame story as Cholesky: all-B maximizes Gflop/s/W, partial capping is the "
+              "trade-off, and the panel-dominated critical path limits how much capping "
+              "can hurt.\n");
+  return 0;
+}

@@ -1,0 +1,237 @@
+#include "core/experiment.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "hw/presets.hpp"
+#include "la/calibration_sets.hpp"
+#include "la/flops.hpp"
+#include "la/lq.hpp"
+#include "la/lu.hpp"
+#include "la/operations.hpp"
+#include "la/qr.hpp"
+#include "power/manager.hpp"
+#include "rt/calibration.hpp"
+#include "sim/simulator.hpp"
+
+namespace greencap::core {
+
+const char* to_string(Operation op) {
+  switch (op) {
+    case Operation::kGemm: return "GEMM";
+    case Operation::kPotrf: return "POTRF";
+    case Operation::kGetrf: return "GETRF";
+    case Operation::kGeqrf: return "GEQRF";
+    case Operation::kGelqf: return "GELQF";
+  }
+  return "?";
+}
+
+double operation_flops(Operation op, double n) {
+  switch (op) {
+    case Operation::kGemm: return la::flops::gemm_total(n);
+    case Operation::kPotrf: return la::flops::cholesky_total(n);
+    case Operation::kGetrf: return la::flops_lu::lu_total(n);
+    case Operation::kGeqrf: return la::flops_qr::geqrf_total(n);
+    case Operation::kGelqf: return la::flops_lq::gelqf_total(n);
+  }
+  return 0.0;
+}
+
+std::string ExperimentConfig::describe() const {
+  std::ostringstream oss;
+  oss << platform << ' ' << to_string(op) << ' ' << hw::to_string(precision) << " N=" << n
+      << " Nt=" << nb << " cfg=" << (gpu_config.size() ? gpu_config.to_string() : "H*");
+  if (cpu_cap) {
+    oss << " cpu" << cpu_cap->package << "@" << static_cast<int>(cpu_cap->fraction_of_tdp * 100)
+        << "%";
+  }
+  if (scheduler != "dmdas") {
+    oss << " sched=" << scheduler;
+  }
+  if (stale_models) {
+    oss << " stale-models";
+  }
+  return oss.str();
+}
+
+double ExperimentResult::perf_delta_pct(const ExperimentResult& baseline) const {
+  return baseline.gflops > 0 ? (gflops / baseline.gflops - 1.0) * 100.0 : 0.0;
+}
+
+double ExperimentResult::energy_saving_pct(const ExperimentResult& baseline) const {
+  return baseline.total_energy_j > 0 ? (1.0 - total_energy_j / baseline.total_energy_j) * 100.0
+                                     : 0.0;
+}
+
+double ExperimentResult::efficiency_gain_pct(const ExperimentResult& baseline) const {
+  return baseline.efficiency_gflops_per_w > 0
+             ? (efficiency_gflops_per_w / baseline.efficiency_gflops_per_w - 1.0) * 100.0
+             : 0.0;
+}
+
+namespace {
+
+template <typename T>
+ExperimentResult run_typed(const ExperimentConfig& config) {
+  hw::Platform platform{hw::presets::platform_by_name(config.platform)};
+  sim::Simulator simulator;
+
+  // -- power configuration & model calibration --------------------------------
+  power::PowerManager manager{platform, simulator};
+  manager.resolve_best_caps(config.precision, config.nb);
+
+  rt::RuntimeOptions options;
+  options.scheduler = config.scheduler;
+  options.execute_kernels = config.execute_kernels;
+  options.seed = config.seed;
+  // The stale-model ablation also freezes online learning; otherwise the
+  // history model would heal itself after one task per worker.
+  options.update_perf_model = !config.stale_models;
+  rt::Runtime runtime{platform, simulator, options};
+
+  la::Codelets<T> codelets;
+  la::LuCodelets<T> lu_codelets;
+  la::QrCodelets<T> qr_codelets;
+  la::LqCodelets<T> lq_codelets;
+  rt::Calibrator calibrator{runtime};
+  auto apply_caps = [&] {
+    if (config.gpu_config.size() != 0) {
+      manager.apply(config.gpu_config);
+    }
+    if (config.cpu_cap) {
+      manager.cap_cpu(config.cpu_cap->package, config.cpu_cap->fraction_of_tdp);
+    }
+  };
+  auto calibrate_all = [&] {
+    la::calibrate_codelets<T>(calibrator, codelets, {config.nb});
+    if (config.op == Operation::kGetrf) {
+      la::calibrate_lu_codelets<T>(calibrator, lu_codelets, {config.nb});
+    } else if (config.op == Operation::kGeqrf) {
+      la::calibrate_qr_codelets<T>(calibrator, qr_codelets, {config.nb});
+    } else if (config.op == Operation::kGelqf) {
+      la::calibrate_lq_codelets<T>(calibrator, lq_codelets, {config.nb});
+    }
+  };
+  if (config.stale_models) {
+    // Maladaptation ablation: models measured at default power, caps
+    // applied afterwards, no recalibration.
+    calibrate_all();
+    apply_caps();
+  } else {
+    // Paper protocol: caps first, then calibration, so the history models
+    // see the capped speeds (section III-B).
+    apply_caps();
+    if (config.recalibrate) {
+      calibrate_all();
+    }
+  }
+
+  // -- build and run the operation --------------------------------------------
+  const bool allocate = config.execute_kernels;
+  la::TileMatrix<T> a{config.n, config.nb, allocate, "A"};
+  a.register_with(runtime);
+  sim::Xoshiro256 rng{config.seed};
+
+  ExperimentResult result;
+  result.config = config;
+  switch (config.op) {
+    case Operation::kGemm: {
+      la::TileMatrix<T> b{config.n, config.nb, allocate, "B"};
+      la::TileMatrix<T> c{config.n, config.nb, allocate, "C"};
+      b.register_with(runtime);
+      c.register_with(runtime);
+      if (allocate) {
+        a.fill_random(rng);
+        b.fill_random(rng);
+      }
+      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      la::submit_gemm<T>(runtime, codelets, a, b, c);
+      runtime.wait_all();
+      result.energy = platform.read_energy(simulator.now()) - start;
+      break;
+    }
+    case Operation::kPotrf: {
+      if (allocate) {
+        a.make_spd(rng);
+      }
+      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      la::submit_potrf<T>(runtime, codelets, a);
+      runtime.wait_all();
+      result.energy = platform.read_energy(simulator.now()) - start;
+      break;
+    }
+    case Operation::kGetrf: {
+      if (allocate) {
+        a.make_diagonally_dominant(rng);
+      }
+      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      la::submit_getrf<T>(runtime, lu_codelets, a);
+      runtime.wait_all();
+      result.energy = platform.read_energy(simulator.now()) - start;
+      break;
+    }
+    case Operation::kGeqrf: {
+      if (allocate) {
+        a.fill_random(rng);
+        for (std::int64_t i = 0; i < config.n; ++i) {
+          a.at(i, i) += T{2};
+        }
+      }
+      la::QrWorkspace<T> workspace{runtime, a};
+      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      la::submit_geqrf<T>(runtime, qr_codelets, a, workspace);
+      runtime.wait_all();
+      result.energy = platform.read_energy(simulator.now()) - start;
+      break;
+    }
+    case Operation::kGelqf: {
+      if (allocate) {
+        a.fill_random(rng);
+        for (std::int64_t i = 0; i < config.n; ++i) {
+          a.at(i, i) += T{2};
+        }
+      }
+      la::QrWorkspace<T> workspace{runtime, a};
+      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      la::submit_gelqf<T>(runtime, lq_codelets, a, workspace);
+      runtime.wait_all();
+      result.energy = platform.read_energy(simulator.now()) - start;
+      break;
+    }
+  }
+  result.stats = runtime.stats();
+  return result;
+}
+
+void finalize_metrics(ExperimentResult& result) {
+  const ExperimentConfig& config = result.config;
+  result.time_s = result.stats.makespan.sec();
+  const double flops = operation_flops(config.op, static_cast<double>(config.n));
+  result.gflops = result.time_s > 0 ? flops / result.time_s / 1e9 : 0.0;
+  result.total_energy_j = result.energy.total();
+  result.efficiency_gflops_per_w =
+      result.total_energy_j > 0 ? flops / result.total_energy_j / 1e9 : 0.0;
+  for (const auto& w : result.stats.per_worker) {
+    if (w.arch == rt::WorkerArch::kCuda) {
+      result.gpu_tasks += w.tasks;
+    } else {
+      result.cpu_tasks += w.tasks;
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.n <= 0 || config.nb <= 0 || config.n % config.nb != 0) {
+    throw std::invalid_argument("run_experiment: n must be a positive multiple of nb");
+  }
+  ExperimentResult result = config.precision == hw::Precision::kDouble
+                                ? run_typed<double>(config)
+                                : run_typed<float>(config);
+  finalize_metrics(result);
+  return result;
+}
+
+}  // namespace greencap::core

@@ -1,0 +1,93 @@
+// Experiment driver: the paper's measurement methodology as a library.
+//
+// One Experiment = {platform, operation, precision, N, Nt, GPU power
+// configuration, optional CPU cap, scheduler}. Running it performs the
+// full protocol of section IV-C:
+//
+//   1. build the platform, resolve P_best from the GEMM kernel sweep at
+//      the operation's tile size,
+//   2. apply the power configuration through NVML/RAPL,
+//   3. recalibrate the runtime's performance models (so the scheduler is
+//      implicitly informed of the new device speeds),
+//   4. read all energy counters, execute the operation, read them again,
+//   5. report performance (Gflop/s), per-device energy (J) and energy
+//      efficiency (Gflop/s/W).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hw/kernel_work.hpp"
+#include "hw/platform.hpp"
+#include "power/config.hpp"
+#include "rt/runtime.hpp"
+
+namespace greencap::core {
+
+/// The paper evaluates GEMM and POTRF; GETRF (LU), GEQRF (QR) and GELQF
+/// (LQ) are this library's extensions, completing the four Chameleon
+/// routine families the paper's section III-C names.
+enum class Operation : std::uint8_t { kGemm, kPotrf, kGetrf, kGeqrf, kGelqf };
+
+[[nodiscard]] const char* to_string(Operation op);
+
+struct CpuCap {
+  std::size_t package = 0;
+  double fraction_of_tdp = 1.0;
+};
+
+struct ExperimentConfig {
+  std::string platform;  ///< preset name, e.g. "32-AMD-4-A100"
+  Operation op = Operation::kGemm;
+  hw::Precision precision = hw::Precision::kDouble;
+  std::int64_t n = 0;
+  int nb = 0;
+  /// GPU power configuration; empty = all H (the default).
+  power::GpuConfig gpu_config;
+  /// Optional RAPL cap on one CPU package (paper section V-C).
+  std::optional<CpuCap> cpu_cap;
+  std::string scheduler = "dmdas";
+  std::uint64_t seed = 42;
+  /// Recalibrate performance models after applying the caps (the paper's
+  /// protocol).
+  bool recalibrate = true;
+  /// Maladaptation ablation: calibrate the models at DEFAULT power, then
+  /// apply the caps WITHOUT recalibrating — the scheduler keeps believing
+  /// every GPU still runs at full speed (the counterfactual of the paper's
+  /// section III-B). Overrides `recalibrate`.
+  bool stale_models = false;
+  /// Run kernels numerically (small problems only).
+  bool execute_kernels = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  double time_s = 0.0;
+  double gflops = 0.0;
+  double total_energy_j = 0.0;
+  double efficiency_gflops_per_w = 0.0;
+  hw::EnergyReading energy;  ///< per-device breakdown
+  rt::RuntimeStats stats;
+  /// Tasks executed by CPU vs GPU workers (Fig. 5's shift under capping).
+  std::uint64_t cpu_tasks = 0;
+  std::uint64_t gpu_tasks = 0;
+
+  /// Percent performance change vs. a baseline (positive = speedup).
+  [[nodiscard]] double perf_delta_pct(const ExperimentResult& baseline) const;
+  /// Percent energy change vs. a baseline (positive = savings).
+  [[nodiscard]] double energy_saving_pct(const ExperimentResult& baseline) const;
+  /// Percent efficiency change vs. a baseline (positive = improvement).
+  [[nodiscard]] double efficiency_gain_pct(const ExperimentResult& baseline) const;
+};
+
+/// Runs one experiment from scratch (fresh platform, runtime and models —
+/// runs are completely independent, like the paper's separate jobs).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Total useful flops of the operation at size n.
+[[nodiscard]] double operation_flops(Operation op, double n);
+
+}  // namespace greencap::core

@@ -1,0 +1,98 @@
+// The paper's experimental parameters (Tables I & II), as data.
+//
+// Benchmarks iterate these records to regenerate the corresponding tables
+// and figures; tests pin our model's behaviour against the published
+// anchor values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "hw/kernel_work.hpp"
+
+namespace greencap::core::paper {
+
+/// One row of Table II: the (platform, operation, precision) parameter
+/// selection, plus the published best cap in % of TDP.
+struct TableIIRow {
+  std::string platform;
+  Operation op;
+  std::int64_t n;
+  int nb;
+  hw::Precision precision;
+  double published_best_pct_tdp;
+};
+
+[[nodiscard]] inline std::vector<TableIIRow> table_ii() {
+  using P = hw::Precision;
+  return {
+      {"24-Intel-2-V100", Operation::kGemm, 43200, 2880, P::kDouble, 62.0},
+      {"24-Intel-2-V100", Operation::kGemm, 43200, 2880, P::kSingle, 60.0},
+      {"24-Intel-2-V100", Operation::kPotrf, 96000, 1920, P::kDouble, 56.0},
+      {"24-Intel-2-V100", Operation::kPotrf, 96000, 1920, P::kSingle, 66.0},
+      {"64-AMD-2-A100", Operation::kGemm, 69120, 5760, P::kDouble, 78.0},
+      {"64-AMD-2-A100", Operation::kGemm, 69120, 5760, P::kSingle, 60.0},
+      {"64-AMD-2-A100", Operation::kPotrf, 115200, 2880, P::kDouble, 78.0},
+      {"64-AMD-2-A100", Operation::kPotrf, 115200, 2880, P::kSingle, 60.0},
+      {"32-AMD-4-A100", Operation::kGemm, 74880, 5760, P::kDouble, 54.0},
+      {"32-AMD-4-A100", Operation::kGemm, 74880, 5760, P::kSingle, 40.0},
+      {"32-AMD-4-A100", Operation::kPotrf, 172800, 2880, P::kDouble, 52.0},
+      {"32-AMD-4-A100", Operation::kPotrf, 172800, 2880, P::kSingle, 38.0},
+  };
+}
+
+/// Looks up the Table II parameters for one (platform, op, precision).
+[[nodiscard]] inline TableIIRow table_ii_row(const std::string& platform, Operation op,
+                                             hw::Precision precision) {
+  for (const TableIIRow& row : table_ii()) {
+    if (row.platform == platform && row.op == op && row.precision == precision) {
+      return row;
+    }
+  }
+  throw std::invalid_argument("paper::table_ii_row: no such configuration");
+}
+
+/// One row of Table I: the single-kernel (section II) study results.
+struct TableIRow {
+  std::string gpu;  ///< archetype name for hw::presets::gpu_by_name
+  hw::Precision precision;
+  int matrix_size;
+  double published_best_pct_tdp;
+  double published_saving_pct;
+};
+
+[[nodiscard]] inline std::vector<TableIRow> table_i() {
+  using P = hw::Precision;
+  return {
+      {"A100-SXM4-40GB", P::kSingle, 5120, 40.0, 27.76},
+      {"A100-SXM4-40GB", P::kDouble, 5120, 54.0, 28.81},
+      {"A100-PCIE-40GB", P::kSingle, 5760, 60.0, 23.17},
+      {"A100-PCIE-40GB", P::kDouble, 5760, 78.0, 10.92},
+      {"V100-PCIE-32GB", P::kSingle, 5120, 58.0, 20.74},
+      {"V100-PCIE-32GB", P::kDouble, 5120, 60.0, 18.52},
+  };
+}
+
+/// CPU cap used in the paper's section V-C experiment (Fig. 6): second
+/// package of 24-Intel-2-V100 at 48 % of TDP.
+inline constexpr double kCpuCapFraction = 0.48;
+inline constexpr std::size_t kCpuCapPackage = 1;
+
+/// Tile sizes for the Fig. 7 sweep (the Table II tile plus additional
+/// sizes, all dividing the platform's matrix size exactly).
+[[nodiscard]] inline std::vector<int> fig7_tile_sizes(const std::string& platform,
+                                                      Operation op) {
+  if (platform == "24-Intel-2-V100") {
+    return op == Operation::kGemm ? std::vector<int>{1800, 2160, 2880}   // N = 43200
+                                  : std::vector<int>{1600, 1920, 2400};  // N = 96000
+  }
+  if (platform == "64-AMD-2-A100") {
+    return op == Operation::kGemm ? std::vector<int>{2880, 4320, 5760}   // N = 69120
+                                  : std::vector<int>{2880, 3840, 5760};  // N = 115200
+  }
+  return op == Operation::kGemm ? std::vector<int>{2880, 3744, 5760}     // N = 74880
+                                : std::vector<int>{2880, 4320, 5760};    // N = 172800
+}
+
+}  // namespace greencap::core::paper

@@ -1,0 +1,33 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+namespace greencap::core {
+
+bool dominates(const ExperimentResult& a, const ExperimentResult& b) {
+  const bool no_worse =
+      a.gflops >= b.gflops && a.total_energy_j <= b.total_energy_j;
+  const bool strictly_better =
+      a.gflops > b.gflops || a.total_energy_j < b.total_energy_j;
+  return no_worse && strictly_better;
+}
+
+std::vector<const ExperimentResult*> pareto_front(
+    const std::vector<ExperimentResult>& results) {
+  std::vector<const ExperimentResult*> front;
+  for (const ExperimentResult& candidate : results) {
+    const bool is_dominated = std::any_of(
+        results.begin(), results.end(),
+        [&](const ExperimentResult& other) { return dominates(other, candidate); });
+    if (!is_dominated) {
+      front.push_back(&candidate);
+    }
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ExperimentResult* a, const ExperimentResult* b) {
+              return a->gflops > b->gflops;
+            });
+  return front;
+}
+
+}  // namespace greencap::core

@@ -1,0 +1,31 @@
+// Pareto-front extraction over experiment results.
+//
+// The paper frames unbalanced capping as a performance/energy trade-off
+// space ("if the user cannot afford high slowdown, applying different
+// power caps allows for a more acceptable trade-off"). This helper makes
+// that framing executable: given the results of a configuration ladder, it
+// returns the configurations that are not dominated on the
+// (performance, energy) plane — the menu a user actually chooses from.
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace greencap::core {
+
+struct ParetoPoint {
+  const ExperimentResult* result = nullptr;
+  bool dominated = false;
+};
+
+/// A result dominates another when it is at least as fast AND uses at most
+/// as much energy, strictly better in one of the two.
+[[nodiscard]] bool dominates(const ExperimentResult& a, const ExperimentResult& b);
+
+/// Returns pointers to the non-dominated results, sorted by descending
+/// performance. Input results must outlive the returned vector.
+[[nodiscard]] std::vector<const ExperimentResult*> pareto_front(
+    const std::vector<ExperimentResult>& results);
+
+}  // namespace greencap::core

@@ -1,0 +1,100 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace greencap::core {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      os << cell;
+      os << std::string(widths[c] - cell.size(), ' ') << " | ";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_sep();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c ? "," : "") << quote(c < row.size() ? row[c] : std::string{});
+    }
+    os << '\n';
+  }
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f %%", decimals, value);
+  return buf;
+}
+
+std::string fmt_signed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f", decimals, value);
+  return buf;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(title.size() + 4, '=') << '\n'
+     << "= " << title << " =\n"
+     << std::string(title.size() + 4, '=') << '\n';
+}
+
+}  // namespace greencap::core

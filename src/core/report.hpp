@@ -1,0 +1,40 @@
+// Plain-text table / CSV rendering for the benchmark harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greencap::core {
+
+/// Fixed-width aligned text table with an optional CSV dump — the bench
+/// binaries print the same rows/series the paper's tables and figures
+/// report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV (RFC-4180-ish, comma-separated, quoted as
+  /// needed).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style numeric formatting helpers used by the harnesses.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double value, int decimals = 2);  ///< "+12.34 %"
+[[nodiscard]] std::string fmt_signed(double value, int decimals = 2);
+
+/// Section banner used by the bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace greencap::core

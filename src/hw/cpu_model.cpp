@@ -1,0 +1,88 @@
+#include "hw/cpu_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace greencap::hw {
+
+double CpuKernelFactors::factor(KernelClass k) const {
+  switch (k) {
+    case KernelClass::kGemm: return gemm;
+    case KernelClass::kSyrk: return syrk;
+    case KernelClass::kTrsm: return trsm;
+    case KernelClass::kPotrf: return potrf;
+    case KernelClass::kGetrf: return getrf;
+    case KernelClass::kQrPanel: return qr_panel;
+    case KernelClass::kQrApply: return qr_apply;
+    case KernelClass::kGeneric: return generic;
+  }
+  return generic;
+}
+
+CpuModel::CpuModel(CpuArchSpec spec, std::int32_t index)
+    : spec_{std::move(spec)}, index_{index}, cap_w_{spec_.tdp_w} {
+  if (spec_.cores <= 0) {
+    throw std::invalid_argument("CpuModel: need at least one core");
+  }
+  if (spec_.tdp_w <= 0 || spec_.min_cap_w <= 0 || spec_.min_cap_w > spec_.tdp_w) {
+    throw std::invalid_argument("CpuModel: inconsistent power limits for " + spec_.name);
+  }
+  if (spec_.uncore_w < 0 || spec_.uncore_w >= spec_.min_cap_w) {
+    throw std::invalid_argument("CpuModel: uncore power must sit below the minimum cap");
+  }
+  meter_.set_power(spec_.uncore_w, sim::SimTime::zero());
+}
+
+double CpuModel::set_power_cap(double watts, sim::SimTime now) {
+  cap_w_ = std::clamp(watts, spec_.min_cap_w, spec_.tdp_w);
+  refresh_power(now);
+  return cap_w_;
+}
+
+double CpuModel::clock_ratio() const {
+  const double dyn_all = spec_.cores * spec_.core_dyn_w;
+  const double phi_target = (cap_w_ - spec_.uncore_w) / dyn_all;
+  const PowerCurve curve{spec_.v_floor};
+  return curve.clock_for_phi(phi_target);
+}
+
+double CpuModel::rate_gflops(const KernelWork& work) const {
+  const double r = clock_ratio();
+  const double factor = spec_.kernel_factors.factor(work.klass);
+  return spec_.core_gflops(work.precision) * factor * std::pow(r, spec_.perf_exponent);
+}
+
+sim::SimTime CpuModel::execution_time(const KernelWork& work) const {
+  const double rate = rate_gflops(work) * 1e9;
+  if (rate <= 0.0 || work.flops <= 0.0) {
+    return sim::SimTime::zero();
+  }
+  return sim::SimTime::seconds(work.flops / rate);
+}
+
+double CpuModel::package_power(int active) const {
+  const PowerCurve curve{spec_.v_floor};
+  const double r = clock_ratio();
+  const double draw = spec_.uncore_w + active * spec_.core_dyn_w * curve.phi(r);
+  return std::min(draw, cap_w_);
+}
+
+void CpuModel::refresh_power(sim::SimTime now) {
+  meter_.set_power(package_power(active_cores_), now);
+}
+
+void CpuModel::core_busy(sim::SimTime now) {
+  assert(active_cores_ < spec_.cores && "more busy cores than the package has");
+  ++active_cores_;
+  refresh_power(now);
+}
+
+void CpuModel::core_idle(sim::SimTime now) {
+  assert(active_cores_ > 0 && "core_idle without core_busy");
+  --active_cores_;
+  refresh_power(now);
+}
+
+}  // namespace greencap::hw

@@ -1,0 +1,23 @@
+#include "hw/energy_meter.hpp"
+
+#include <cassert>
+
+namespace greencap::hw {
+
+void EnergyMeter::advance(sim::SimTime now) {
+  assert(now >= last_update_ && "EnergyMeter cannot integrate backwards");
+  joules_ += power_w_ * (now - last_update_).sec();
+  last_update_ = now;
+}
+
+void EnergyMeter::set_power(double power_w, sim::SimTime now) {
+  advance(now);
+  power_w_ = power_w;
+}
+
+void EnergyMeter::reset_energy(sim::SimTime now) {
+  advance(now);
+  joules_ = 0.0;
+}
+
+}  // namespace greencap::hw

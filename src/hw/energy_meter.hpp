@@ -1,0 +1,37 @@
+// Exact energy integration for a device with piecewise-constant power.
+//
+// Device models report every power transition (kernel begin/end, cap
+// change); the meter integrates joules = sum(P_i * dt_i) exactly over the
+// virtual timeline, which is what the NVML/RAPL facades expose to the
+// measurement methodology of the paper (counter read at start and end of
+// the run, subtracted).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace greencap::hw {
+
+class EnergyMeter {
+ public:
+  /// Accumulates energy up to `now` at the current power, then switches to
+  /// `power_w`. `now` must be >= the last update time.
+  void set_power(double power_w, sim::SimTime now);
+
+  /// Accumulates energy up to `now` without changing the power level.
+  void advance(sim::SimTime now);
+
+  [[nodiscard]] double joules() const { return joules_; }
+  [[nodiscard]] double power_w() const { return power_w_; }
+  [[nodiscard]] sim::SimTime last_update() const { return last_update_; }
+
+  /// Resets the accumulated energy (not the power level) — used when an
+  /// experiment reuses a platform instance across runs.
+  void reset_energy(sim::SimTime now);
+
+ private:
+  double power_w_ = 0.0;
+  double joules_ = 0.0;
+  sim::SimTime last_update_ = sim::SimTime::zero();
+};
+
+}  // namespace greencap::hw

@@ -1,0 +1,103 @@
+#include "hw/gpu_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace greencap::hw {
+
+double GpuKernelFactors::factor(KernelClass k) const {
+  switch (k) {
+    case KernelClass::kGemm: return gemm;
+    case KernelClass::kSyrk: return syrk;
+    case KernelClass::kTrsm: return trsm;
+    case KernelClass::kPotrf: return potrf;
+    case KernelClass::kGetrf: return getrf;
+    case KernelClass::kQrPanel: return qr_panel;
+    case KernelClass::kQrApply: return qr_apply;
+    case KernelClass::kGeneric: return generic;
+  }
+  return generic;
+}
+
+GpuModel::GpuModel(GpuArchSpec spec, std::int32_t index)
+    : spec_{std::move(spec)}, index_{index}, cap_w_{spec_.tdp_w} {
+  if (spec_.tdp_w <= 0 || spec_.min_cap_w <= 0 || spec_.min_cap_w > spec_.tdp_w) {
+    throw std::invalid_argument("GpuModel: inconsistent power limits for " + spec_.name);
+  }
+  if (spec_.idle_w < 0 || spec_.idle_w >= spec_.min_cap_w) {
+    throw std::invalid_argument("GpuModel: idle power must sit below the minimum cap");
+  }
+  meter_.set_power(spec_.idle_w, sim::SimTime::zero());
+}
+
+double GpuModel::set_power_cap(double watts, sim::SimTime now) {
+  cap_w_ = std::clamp(watts, spec_.min_cap_w, spec_.tdp_w);
+  // A cap change is an instantaneous power-state transition for the meter
+  // only if the device is idle; busy devices keep their negotiated draw
+  // until the current kernel retires.
+  if (!busy_) {
+    meter_.set_power(spec_.idle_w, now);
+  }
+  return cap_w_;
+}
+
+double GpuModel::utilization(double work_dim) const {
+  if (work_dim <= 0) {
+    return 1.0;  // unspecified dimension: assume a saturating kernel
+  }
+  const double n2 = work_dim * work_dim;
+  const double h2 = spec_.nb_half * spec_.nb_half;
+  return n2 / (n2 + h2);
+}
+
+double GpuModel::clock_ratio(const KernelWork& work) const {
+  const GpuPrecisionProfile& prof = spec_.profile(work.precision);
+  const double u = utilization(work.work_dim);
+  const double dyn = u * (prof.kernel_power_w - spec_.idle_w);
+  assert(dyn > 0.0);
+  const double phi_target = (cap_w_ - spec_.idle_w) / dyn;
+  const PowerCurve curve{prof.v_floor};
+  return curve.clock_for_phi(phi_target);
+}
+
+double GpuModel::rate_gflops(const KernelWork& work) const {
+  const GpuPrecisionProfile& prof = spec_.profile(work.precision);
+  const double u = utilization(work.work_dim);
+  const double r = clock_ratio(work);
+  const double factor = spec_.kernel_factors.factor(work.klass);
+  return prof.peak_gflops * factor * u * std::pow(r, prof.perf_exponent);
+}
+
+sim::SimTime GpuModel::execution_time(const KernelWork& work) const {
+  const double rate = rate_gflops(work) * 1e9;  // flop/s
+  if (rate <= 0.0 || work.flops <= 0.0) {
+    return sim::SimTime::zero();
+  }
+  return sim::SimTime::seconds(work.flops / rate);
+}
+
+double GpuModel::power_during(const KernelWork& work) const {
+  const GpuPrecisionProfile& prof = spec_.profile(work.precision);
+  const double u = utilization(work.work_dim);
+  const double r = clock_ratio(work);
+  const PowerCurve curve{prof.v_floor};
+  const double draw = spec_.idle_w + u * (prof.kernel_power_w - spec_.idle_w) * curve.phi(r);
+  // The cap is a hard limit enforced by the power-management firmware.
+  return std::min(draw, cap_w_);
+}
+
+void GpuModel::begin_kernel(const KernelWork& work, sim::SimTime now) {
+  assert(!busy_ && "GpuModel executes one kernel at a time");
+  busy_ = true;
+  meter_.set_power(power_during(work), now);
+}
+
+void GpuModel::end_kernel(sim::SimTime now) {
+  assert(busy_ && "end_kernel without begin_kernel");
+  busy_ = false;
+  meter_.set_power(spec_.idle_w, now);
+}
+
+}  // namespace greencap::hw

@@ -1,0 +1,28 @@
+#include "hw/kernel_work.hpp"
+
+#include <cstdio>
+
+namespace greencap::hw {
+
+const char* to_string(KernelClass k) {
+  switch (k) {
+    case KernelClass::kGemm: return "gemm";
+    case KernelClass::kSyrk: return "syrk";
+    case KernelClass::kTrsm: return "trsm";
+    case KernelClass::kPotrf: return "potrf";
+    case KernelClass::kGetrf: return "getrf";
+    case KernelClass::kQrPanel: return "qr_panel";
+    case KernelClass::kQrApply: return "qr_apply";
+    case KernelClass::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+std::string KernelWork::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s[%s] flops=%.3g dim=%g", greencap::hw::to_string(klass),
+                greencap::hw::to_string(precision), flops, work_dim);
+  return buf;
+}
+
+}  // namespace greencap::hw

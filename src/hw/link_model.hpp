@@ -1,0 +1,40 @@
+// Host <-> device interconnect model.
+//
+// Each GPU owns a full-duplex link (PCIe gen3/gen4 or NVLink depending on
+// the platform). Transfer time follows the classic Hockney model
+// latency + bytes/bandwidth; the runtime serializes transfers per link and
+// per direction, which is how StarPU's data prefetch engine behaves with a
+// single stream per direction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace greencap::hw {
+
+struct LinkSpec {
+  std::string name;
+  double bandwidth_gbps = 16.0;  ///< GB/s, per direction
+  double latency_us = 10.0;
+};
+
+class LinkModel {
+ public:
+  LinkModel() = default;
+  explicit LinkModel(LinkSpec spec) : spec_{std::move(spec)} {}
+
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+
+  [[nodiscard]] sim::SimTime transfer_time(std::uint64_t bytes) const {
+    const double seconds =
+        spec_.latency_us * 1e-6 + static_cast<double>(bytes) / (spec_.bandwidth_gbps * 1e9);
+    return sim::SimTime::seconds(seconds);
+  }
+
+ private:
+  LinkSpec spec_;
+};
+
+}  // namespace greencap::hw

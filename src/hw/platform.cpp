@@ -1,0 +1,86 @@
+#include "hw/platform.hpp"
+
+#include <numeric>
+
+namespace greencap::hw {
+
+std::string DeviceId::to_string() const {
+  return (kind == DeviceKind::kCpu ? "cpu" : "gpu") + std::to_string(index);
+}
+
+double EnergyReading::total() const { return cpu_total() + gpu_total(); }
+
+double EnergyReading::cpu_total() const {
+  return std::accumulate(cpu_joules.begin(), cpu_joules.end(), 0.0);
+}
+
+double EnergyReading::gpu_total() const {
+  return std::accumulate(gpu_joules.begin(), gpu_joules.end(), 0.0);
+}
+
+EnergyReading EnergyReading::operator-(const EnergyReading& start) const {
+  EnergyReading out = *this;
+  for (std::size_t i = 0; i < out.cpu_joules.size() && i < start.cpu_joules.size(); ++i) {
+    out.cpu_joules[i] -= start.cpu_joules[i];
+  }
+  for (std::size_t i = 0; i < out.gpu_joules.size() && i < start.gpu_joules.size(); ++i) {
+    out.gpu_joules[i] -= start.gpu_joules[i];
+  }
+  return out;
+}
+
+Platform::Platform(PlatformSpec spec) : name_{spec.name} {
+  std::int32_t ci = 0;
+  for (auto& cpu_spec : spec.cpus) {
+    cpus_.push_back(std::make_unique<CpuModel>(std::move(cpu_spec), ci++));
+  }
+  std::int32_t gi = 0;
+  for (auto& gpu_spec : spec.gpus) {
+    gpus_.push_back(std::make_unique<GpuModel>(std::move(gpu_spec), gi++));
+    links_.emplace_back(spec.gpu_link);
+  }
+  if (cpus_.empty() && gpus_.empty()) {
+    throw std::invalid_argument("Platform '" + name_ + "' has no devices");
+  }
+}
+
+int Platform::total_cores() const {
+  int total = 0;
+  for (const auto& cpu : cpus_) {
+    total += cpu->spec().cores;
+  }
+  return total;
+}
+
+CpuModel& Platform::cpu(std::size_t i) { return *cpus_.at(i); }
+const CpuModel& Platform::cpu(std::size_t i) const { return *cpus_.at(i); }
+GpuModel& Platform::gpu(std::size_t i) { return *gpus_.at(i); }
+const GpuModel& Platform::gpu(std::size_t i) const { return *gpus_.at(i); }
+const LinkModel& Platform::gpu_link(std::size_t i) const { return links_.at(i); }
+
+EnergyReading Platform::read_energy(sim::SimTime now) {
+  EnergyReading reading;
+  reading.cpu_joules.reserve(cpus_.size());
+  reading.gpu_joules.reserve(gpus_.size());
+  for (auto& cpu : cpus_) {
+    cpu->advance(now);
+    reading.cpu_joules.push_back(cpu->energy_joules());
+  }
+  for (auto& gpu : gpus_) {
+    gpu->advance(now);
+    reading.gpu_joules.push_back(gpu->energy_joules());
+  }
+  return reading;
+}
+
+void Platform::reset_energy(sim::SimTime now) {
+  for (auto& cpu : cpus_) cpu->reset_energy(now);
+  for (auto& gpu : gpus_) gpu->reset_energy(now);
+}
+
+void Platform::reset_power_caps(sim::SimTime now) {
+  for (auto& cpu : cpus_) cpu->set_power_cap(cpu->spec().tdp_w, now);
+  for (auto& gpu : gpus_) gpu->set_power_cap(gpu->spec().tdp_w, now);
+}
+
+}  // namespace greencap::hw

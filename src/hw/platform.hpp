@@ -1,0 +1,89 @@
+// A heterogeneous compute node: CPU packages + GPUs + interconnect.
+//
+// The Platform owns the device models and provides node-level energy
+// queries matching the paper's measurement methodology (sum over all
+// processing units, counters read at run start and end).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hw/cpu_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/link_model.hpp"
+#include "sim/time.hpp"
+
+namespace greencap::hw {
+
+enum class DeviceKind : std::uint8_t { kCpu, kGpu };
+
+/// Node-wide device address.
+struct DeviceId {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::int32_t index = 0;
+
+  [[nodiscard]] friend bool operator==(DeviceId a, DeviceId b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PlatformSpec {
+  std::string name;
+  std::vector<CpuArchSpec> cpus;
+  std::vector<GpuArchSpec> gpus;
+  LinkSpec gpu_link;  ///< one such link per GPU
+};
+
+/// Per-device energy snapshot (joules since construction / last reset).
+struct EnergyReading {
+  std::vector<double> cpu_joules;
+  std::vector<double> gpu_joules;
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double cpu_total() const;
+  [[nodiscard]] double gpu_total() const;
+
+  /// Component-wise difference (end - start of a measurement window).
+  [[nodiscard]] EnergyReading operator-(const EnergyReading& start) const;
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformSpec spec);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::size_t cpu_count() const { return cpus_.size(); }
+  [[nodiscard]] std::size_t gpu_count() const { return gpus_.size(); }
+  [[nodiscard]] int total_cores() const;
+
+  [[nodiscard]] CpuModel& cpu(std::size_t i);
+  [[nodiscard]] const CpuModel& cpu(std::size_t i) const;
+  [[nodiscard]] GpuModel& gpu(std::size_t i);
+  [[nodiscard]] const GpuModel& gpu(std::size_t i) const;
+  [[nodiscard]] const LinkModel& gpu_link(std::size_t i) const;
+
+  /// Integrates all meters to `now` and returns the per-device energies.
+  [[nodiscard]] EnergyReading read_energy(sim::SimTime now);
+
+  /// Resets every device's energy accumulator (between experiments).
+  void reset_energy(sim::SimTime now);
+
+  /// Restores default power limits (H everywhere).
+  void reset_power_caps(sim::SimTime now);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<CpuModel>> cpus_;
+  std::vector<std::unique_ptr<GpuModel>> gpus_;
+  std::vector<LinkModel> links_;
+};
+
+}  // namespace greencap::hw

@@ -1,0 +1,42 @@
+#include "hw/power_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace greencap::hw {
+
+PowerCurve::PowerCurve(double v_floor, double r_min) : v_floor_{v_floor}, r_min_{r_min} {
+  if (!(v_floor > 0.0) || v_floor > 1.0) {
+    throw std::invalid_argument("PowerCurve: v_floor must be in (0, 1]");
+  }
+  if (!(r_min > 0.0) || r_min > 1.0) {
+    throw std::invalid_argument("PowerCurve: r_min must be in (0, 1]");
+  }
+}
+
+double PowerCurve::phi(double r) const {
+  r = std::clamp(r, r_min_, 1.0);
+  const double v = std::max(v_floor_, r);
+  return r * v * v;
+}
+
+double PowerCurve::phi_at_floor() const { return phi(v_floor_); }
+
+double PowerCurve::clock_for_phi(double phi_target) const {
+  if (phi_target >= 1.0) {
+    return 1.0;
+  }
+  const double floor_phi = v_floor_ * v_floor_ * v_floor_;
+  double r;
+  if (phi_target >= floor_phi) {
+    // Cubic regime: phi = r^3 (since v(r) = r here).
+    r = std::cbrt(phi_target);
+  } else {
+    // Linear regime: phi = r * v_floor^2.
+    r = phi_target / (v_floor_ * v_floor_);
+  }
+  return std::clamp(r, r_min_, 1.0);
+}
+
+}  // namespace greencap::hw

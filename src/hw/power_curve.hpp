@@ -1,0 +1,48 @@
+// Frequency <-> power relationship for DVFS-throttled devices.
+//
+// The model captures the two regimes that shape every published
+// power-capping efficiency curve (and in particular Fig. 1 of the target
+// paper):
+//
+//   * above the voltage floor the chip scales voltage with frequency, so
+//     dynamic power behaves like f * V(f)^2 ~ f^3 — power falls off much
+//     faster than performance, and efficiency improves as the cap drops;
+//   * below the voltage floor (V cannot go lower), power is only linear in
+//     f while the static share grows, so efficiency *degrades* again.
+//
+// The efficiency optimum therefore sits at the voltage-floor cap, which is
+// exactly where the paper measures its best-efficiency points (40-78 % of
+// TDP depending on architecture and precision).
+#pragma once
+
+namespace greencap::hw {
+
+/// Normalized dynamic-power curve phi(r) for clock ratio r in (0, 1],
+/// with phi(1) = 1:
+///
+///   phi(r) = r * v(r)^2,   v(r) = max(v_floor, r)
+class PowerCurve {
+ public:
+  /// `v_floor` is the voltage ratio floor in (0, 1]; `r_min` is the lowest
+  /// reachable clock ratio (hardware P-state floor).
+  explicit PowerCurve(double v_floor, double r_min = 0.10);
+
+  [[nodiscard]] double v_floor() const { return v_floor_; }
+  [[nodiscard]] double r_min() const { return r_min_; }
+
+  /// Normalized dynamic power at clock ratio r (clamped to [r_min, 1]).
+  [[nodiscard]] double phi(double r) const;
+
+  /// Inverse mapping: largest clock ratio whose normalized dynamic power
+  /// does not exceed `phi_target`. Clamped to [r_min, 1].
+  [[nodiscard]] double clock_for_phi(double phi_target) const;
+
+  /// Normalized dynamic power at the voltage floor: phi(v_floor).
+  [[nodiscard]] double phi_at_floor() const;
+
+ private:
+  double v_floor_;
+  double r_min_;
+};
+
+}  // namespace greencap::hw

@@ -1,0 +1,197 @@
+#include "hw/presets.hpp"
+
+#include <stdexcept>
+
+namespace greencap::hw::presets {
+
+GpuArchSpec v100_pcie() {
+  GpuArchSpec spec;
+  spec.name = "V100-PCIE-32GB";
+  spec.tdp_w = 250.0;
+  spec.min_cap_w = 100.0;
+  spec.idle_w = 40.0;
+  spec.nb_half = 650.0;
+  // Anchors: single peak @ 58 % TDP (145 W), gain 20.74 %, slowdown 18 %;
+  //          double peak @ 60 % TDP (150 W), gain 18.52 %, slowdown 17 %.
+  spec.single = GpuPrecisionProfile{
+      .peak_gflops = 14500.0,
+      .kernel_power_w = 216.3,
+      .perf_exponent = 1.1843,
+      .v_floor = 0.8457,
+  };
+  spec.fp64 = GpuPrecisionProfile{
+      .peak_gflops = 7000.0,
+      .kernel_power_w = 217.0,
+      .perf_exponent = 1.2165,
+      .v_floor = 0.8580,
+  };
+  return spec;
+}
+
+GpuArchSpec a100_pcie() {
+  GpuArchSpec spec;
+  spec.name = "A100-PCIE-40GB";
+  spec.tdp_w = 250.0;
+  spec.min_cap_w = 150.0;
+  spec.idle_w = 40.0;
+  spec.nb_half = 750.0;
+  // Anchors: single peak @ 60 % TDP (150 W = the hardware minimum, which is
+  // why the paper's L and B configurations coincide on this platform),
+  // gain 23.17 %, slowdown 19.71 % (both given in the paper); double peak
+  // @ 78 % TDP (195 W), gain 10.92 %, slowdown 10 %.
+  spec.single = GpuPrecisionProfile{
+      .peak_gflops = 17500.0,
+      .kernel_power_w = 233.3,
+      .perf_exponent = 1.2020,
+      .v_floor = 0.8331,
+  };
+  spec.fp64 = GpuPrecisionProfile{
+      .peak_gflops = 18000.0,
+      .kernel_power_w = 243.7,
+      .perf_exponent = 1.2317,
+      .v_floor = 0.9181,
+  };
+  return spec;
+}
+
+GpuArchSpec a100_sxm4() {
+  GpuArchSpec spec;
+  spec.name = "A100-SXM4-40GB";
+  spec.tdp_w = 400.0;
+  spec.min_cap_w = 100.0;
+  spec.idle_w = 55.0;
+  spec.nb_half = 750.0;
+  // Anchors: single peak @ 40 % TDP (160 W), gain 27.76 %, slowdown 20 %;
+  //          double peak @ 54 % TDP (216 W), gain 28.81 %, slowdown 22.93 %
+  // (the double anchors are all given explicitly in the paper).
+  spec.single = GpuPrecisionProfile{
+      .peak_gflops = 18000.0,
+      .kernel_power_w = 259.8,
+      .perf_exponent = 1.0350,
+      .v_floor = 0.8061,
+  };
+  spec.fp64 = GpuPrecisionProfile{
+      .peak_gflops = 18500.0,
+      .kernel_power_w = 367.6,
+      .perf_exponent = 1.2166,
+      .v_floor = 0.8073,
+  };
+  return spec;
+}
+
+GpuArchSpec h100_sxm5_projection() {
+  GpuArchSpec spec;
+  spec.name = "H100-SXM5-80GB(projection)";
+  spec.tdp_w = 700.0;
+  spec.min_cap_w = 200.0;
+  spec.idle_w = 70.0;
+  spec.nb_half = 900.0;  // bigger device: needs larger tiles to saturate
+  // Extrapolated, NOT calibrated against measurements (see header note):
+  // A100's voltage floor carried over; draw scaled to Hopper's envelope.
+  spec.single = GpuPrecisionProfile{
+      .peak_gflops = 48000.0,
+      .kernel_power_w = 480.0,
+      .perf_exponent = 1.05,
+      .v_floor = 0.81,
+  };
+  spec.fp64 = GpuPrecisionProfile{
+      .peak_gflops = 55000.0,
+      .kernel_power_w = 640.0,
+      .perf_exponent = 1.22,
+      .v_floor = 0.81,
+  };
+  return spec;
+}
+
+GpuArchSpec gpu_by_name(const std::string& name) {
+  if (name == "H100-SXM5-80GB(projection)" || name == "H100-SXM5" || name == "h100") {
+    return h100_sxm5_projection();
+  }
+  if (name == "V100-PCIE-32GB" || name == "V100-PCIe" || name == "v100") return v100_pcie();
+  if (name == "A100-PCIE-40GB" || name == "A100-PCIe" || name == "a100-pcie") return a100_pcie();
+  if (name == "A100-SXM4-40GB" || name == "A100-SXM4" || name == "a100-sxm4") return a100_sxm4();
+  throw std::invalid_argument("unknown GPU archetype: " + name);
+}
+
+CpuArchSpec xeon_gold_6126() {
+  CpuArchSpec spec;
+  spec.name = "Xeon-Gold-6126";
+  spec.cores = 12;
+  spec.tdp_w = 125.0;
+  // The paper reports stability issues below 48 % of TDP (60 W); the model
+  // allows capping down to that point.
+  spec.min_cap_w = 60.0;
+  spec.uncore_w = 30.0;
+  spec.core_dyn_w = (125.0 - 30.0) / 12.0;
+  spec.v_floor = 0.75;
+  spec.perf_exponent = 1.08;
+  spec.core_gflops_single = 60.0;
+  spec.core_gflops_double = 30.0;
+  return spec;
+}
+
+CpuArchSpec epyc_7452() {
+  CpuArchSpec spec;
+  spec.name = "EPYC-7452";
+  spec.cores = 32;
+  spec.tdp_w = 125.0;  // power budget reported by the paper for grouille-1
+  spec.min_cap_w = 60.0;
+  spec.uncore_w = 35.0;
+  spec.core_dyn_w = (125.0 - 35.0) / 32.0;
+  spec.v_floor = 0.75;
+  spec.perf_exponent = 1.08;
+  spec.core_gflops_single = 50.0;
+  spec.core_gflops_double = 25.0;
+  return spec;
+}
+
+CpuArchSpec epyc_7513() {
+  CpuArchSpec spec;
+  spec.name = "EPYC-7513";
+  spec.cores = 32;
+  spec.tdp_w = 200.0;
+  spec.min_cap_w = 90.0;
+  spec.uncore_w = 45.0;
+  spec.core_dyn_w = (200.0 - 45.0) / 32.0;
+  spec.v_floor = 0.75;
+  spec.perf_exponent = 1.08;
+  spec.core_gflops_single = 60.0;
+  spec.core_gflops_double = 30.0;
+  return spec;
+}
+
+PlatformSpec platform_24_intel_2_v100() {
+  PlatformSpec spec;
+  spec.name = "24-Intel-2-V100";
+  spec.cpus = {xeon_gold_6126(), xeon_gold_6126()};
+  spec.gpus = {v100_pcie(), v100_pcie()};
+  spec.gpu_link = LinkSpec{.name = "pcie3-x16", .bandwidth_gbps = 12.0, .latency_us = 10.0};
+  return spec;
+}
+
+PlatformSpec platform_64_amd_2_a100() {
+  PlatformSpec spec;
+  spec.name = "64-AMD-2-A100";
+  spec.cpus = {epyc_7452(), epyc_7452()};
+  spec.gpus = {a100_pcie(), a100_pcie()};
+  spec.gpu_link = LinkSpec{.name = "pcie4-x16", .bandwidth_gbps = 20.0, .latency_us = 8.0};
+  return spec;
+}
+
+PlatformSpec platform_32_amd_4_a100() {
+  PlatformSpec spec;
+  spec.name = "32-AMD-4-A100";
+  spec.cpus = {epyc_7513()};
+  spec.gpus = {a100_sxm4(), a100_sxm4(), a100_sxm4(), a100_sxm4()};
+  spec.gpu_link = LinkSpec{.name = "pcie4-x16", .bandwidth_gbps = 24.0, .latency_us = 8.0};
+  return spec;
+}
+
+PlatformSpec platform_by_name(const std::string& name) {
+  if (name == "24-Intel-2-V100") return platform_24_intel_2_v100();
+  if (name == "64-AMD-2-A100") return platform_64_amd_2_a100();
+  if (name == "32-AMD-4-A100") return platform_32_amd_4_a100();
+  throw std::invalid_argument("unknown platform: " + name);
+}
+
+}  // namespace greencap::hw::presets

@@ -1,0 +1,120 @@
+// Codelets for the dense linear-algebra kernels (one set per precision).
+//
+// Access-order conventions (relied on by the kernel implementations):
+//   gemm : A (R), B (R), C (RW)       C = alpha * A * op(B) + beta * C
+//   syrk : A (R), C (RW)              C_lower += alpha * A * A^T (beta=1)
+//   trsm : L (R), B (RW)              B := B * L^{-T}
+//   potrf: A (RW)                     A := chol_lower(A)
+//
+// The "cuda" implementations are numerically the same host functions — the
+// simulated device provides the timing/energy — which keeps results
+// bit-identical regardless of where the scheduler places a task.
+#pragma once
+
+#include <any>
+
+#include "hw/kernel_work.hpp"
+#include "la/blas.hpp"
+#include "la/tile_matrix.hpp"
+#include "rt/codelet.hpp"
+#include "rt/task.hpp"
+
+namespace greencap::la {
+
+template <typename T>
+struct GemmArgs {
+  int nb = 0;
+  T alpha = T{1};
+  T beta = T{1};
+  bool trans_a = false;
+  bool trans_b = false;
+};
+
+template <typename T>
+struct TileArgs {
+  int nb = 0;
+  T alpha = T{1};
+};
+
+namespace detail {
+
+template <typename T>
+[[nodiscard]] inline T* tile_ptr(rt::Task& task, std::size_t access_index) {
+  return static_cast<T*>(task.accesses()[access_index].handle->host_ptr());
+}
+
+/// Kernels silently skip when handles carry no storage (metadata-only
+/// timing simulations).
+template <typename T>
+[[nodiscard]] inline bool has_storage(rt::Task& task) {
+  for (const rt::TaskAccess& a : task.accesses()) {
+    if (a.handle->host_ptr() == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// The four kernels of tile GEMM / tile Cholesky for scalar type T.
+template <typename T>
+class Codelets {
+ public:
+  Codelets() {
+    const char* s = scalar_traits<T>::suffix;
+
+    gemm_.name = std::string{s} + "gemm";
+    gemm_.klass = hw::KernelClass::kGemm;
+    gemm_.where = rt::kWhereAny;
+    gemm_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const GemmArgs<T>&>(task.arg);
+      la::gemm<T>(args.nb, args.nb, args.nb, args.alpha, detail::tile_ptr<T>(task, 0), args.nb,
+                  args.trans_a, detail::tile_ptr<T>(task, 1), args.nb, args.trans_b, args.beta,
+                  detail::tile_ptr<T>(task, 2), args.nb);
+    };
+
+    syrk_.name = std::string{s} + "syrk";
+    syrk_.klass = hw::KernelClass::kSyrk;
+    syrk_.where = rt::kWhereAny;
+    syrk_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      la::syrk_lower<T>(args.nb, args.nb, args.alpha, detail::tile_ptr<T>(task, 0), args.nb,
+                        T{1}, detail::tile_ptr<T>(task, 1), args.nb);
+    };
+
+    trsm_.name = std::string{s} + "trsm";
+    trsm_.klass = hw::KernelClass::kTrsm;
+    trsm_.where = rt::kWhereAny;
+    trsm_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      la::trsm_right_lower_trans<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                                    detail::tile_ptr<T>(task, 1), args.nb);
+    };
+
+    potrf_.name = std::string{s} + "potrf";
+    potrf_.klass = hw::KernelClass::kPotrf;
+    potrf_.where = rt::kWhereAny;
+    potrf_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      la::potrf_lower<T>(args.nb, detail::tile_ptr<T>(task, 0), args.nb);
+    };
+  }
+
+  [[nodiscard]] const rt::Codelet& gemm() const { return gemm_; }
+  [[nodiscard]] const rt::Codelet& syrk() const { return syrk_; }
+  [[nodiscard]] const rt::Codelet& trsm() const { return trsm_; }
+  [[nodiscard]] const rt::Codelet& potrf() const { return potrf_; }
+
+ private:
+  rt::Codelet gemm_;
+  rt::Codelet syrk_;
+  rt::Codelet trsm_;
+  rt::Codelet potrf_;
+};
+
+}  // namespace greencap::la

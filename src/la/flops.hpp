@@ -1,0 +1,24 @@
+// Floating-point operation counts for the dense kernels and operations
+// (LAWN 41 conventions, as used by Chameleon's timing harness).
+#pragma once
+
+namespace greencap::la::flops {
+
+/// C(m x n) += A(m x k) * B(k x n)
+[[nodiscard]] constexpr double gemm(double m, double n, double k) { return 2.0 * m * n * k; }
+[[nodiscard]] constexpr double gemm(double n) { return gemm(n, n, n); }
+
+/// C(n x n) += A(n x k) * A^T, lower triangle
+[[nodiscard]] constexpr double syrk(double n, double k) { return (n + 1.0) * n * k; }
+
+/// B(m x n) := B * L^{-T}
+[[nodiscard]] constexpr double trsm(double m, double n) { return m * n * n; }
+
+/// Cholesky of an n x n matrix
+[[nodiscard]] constexpr double potrf(double n) { return n * n * n / 3.0 + n * n / 2.0 + n / 6.0; }
+
+/// Whole tiled-operation totals for an N x N problem.
+[[nodiscard]] constexpr double gemm_total(double n) { return gemm(n); }
+[[nodiscard]] constexpr double cholesky_total(double n) { return potrf(n); }
+
+}  // namespace greencap::la::flops

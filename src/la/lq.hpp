@@ -1,0 +1,312 @@
+// Tiled LQ factorization (GELQF) — the fourth and last Chameleon routine
+// family named by the paper (section III-C: "LU, Cholesky, QR, and LQ").
+//
+// LQ is the row-wise dual of QR: A = L * Q with L lower-triangular and Q
+// orthogonal, reflectors built from rows and applied from the right. The
+// tile algorithm mirrors tile QR with the roles of rows and columns
+// swapped:
+//
+//   GELQT(A_kk)                       panel LQ (row reflectors)
+//   UNMLQ(A_mk)   for m > k           apply panel Q^T from the right
+//   TSLQT(A_kk, A_kj) for j > k       fold column-block j into L
+//   TSMLQ(A_mk, A_mj) for m, j > k    apply the fold from the right
+//
+// On exit the lower block triangle holds L; reflector tails live in the
+// strict upper triangle and the tau workspace.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "hw/kernel_work.hpp"
+#include "la/codelets.hpp"
+#include "la/operations.hpp"
+#include "la/qr.hpp"  // flops are transpose-symmetric; reuse QrWorkspace shape
+#include "la/tile_matrix.hpp"
+#include "rt/calibration.hpp"
+#include "rt/runtime.hpp"
+
+namespace greencap::la {
+
+namespace flops_lq {
+[[nodiscard]] constexpr double gelqf_total(double n) { return 4.0 * n * n * n / 3.0; }
+[[nodiscard]] constexpr double gelqt(double nb) { return 4.0 * nb * nb * nb / 3.0; }
+[[nodiscard]] constexpr double unmlq(double nb) { return 2.0 * nb * nb * nb; }
+[[nodiscard]] constexpr double tslqt(double nb) { return 2.0 * nb * nb * nb; }
+[[nodiscard]] constexpr double tsmlq(double nb) { return 4.0 * nb * nb * nb; }
+}  // namespace flops_lq
+
+// -- row-wise Householder kernels --------------------------------------------
+
+/// GELQ2: unblocked LQ of A (m x n, n >= m) in place. Lower triangle gets
+/// L, the strict upper triangle the row-reflector tails, tau[0..m-1] the
+/// scalars.
+template <typename T>
+void gelq2(int m, int n, T* a, int lda, T* tau) {
+  if (n < m) {
+    throw std::invalid_argument("gelq2: requires n >= m");
+  }
+  for (int i = 0; i < m; ++i) {
+    // Reflector from row i, entries [i, i+1..n-1] (stride lda).
+    T* row_tail = a + static_cast<std::size_t>(i) + static_cast<std::size_t>(i + 1) * lda;
+    const auto refl = qr_detail::make_reflector<T>(
+        a[i + static_cast<std::size_t>(i) * lda], row_tail, n - i - 1, lda);
+    a[i + static_cast<std::size_t>(i) * lda] = refl.beta;
+    tau[i] = refl.tau;
+    if (refl.tau == T{}) continue;
+    // Apply H_i from the right to the rows below.
+    for (int r = i + 1; r < m; ++r) {
+      T w = a[r + static_cast<std::size_t>(i) * lda];
+      for (int c = i + 1; c < n; ++c) {
+        w += a[i + static_cast<std::size_t>(c) * lda] * a[r + static_cast<std::size_t>(c) * lda];
+      }
+      w *= refl.tau;
+      a[r + static_cast<std::size_t>(i) * lda] -= w;
+      for (int c = i + 1; c < n; ++c) {
+        a[r + static_cast<std::size_t>(c) * lda] -=
+            a[i + static_cast<std::size_t>(c) * lda] * w;
+      }
+    }
+  }
+}
+
+/// ORML2 (right, transpose): C (m x n) := C * Q^T with Q's k row-reflectors
+/// in V (k x n, unit "upper": v_i = e_i + tail in row i) and tau.
+/// gelq2 built L by applying H_0, H_1, ... from the right in ascending
+/// order (L = A H_0 H_1 ... H_{k-1}), so C Q^T replays the same ascending
+/// sequence.
+template <typename T>
+void orml2_right_trans(int m, int n, int k, const T* v, int ldv, const T* tau, T* c, int ldc) {
+  for (int i = 0; i < k; ++i) {
+    if (tau[i] == T{}) continue;
+    for (int r = 0; r < m; ++r) {
+      T w = c[r + static_cast<std::size_t>(i) * ldc];
+      for (int col = i + 1; col < n; ++col) {
+        w += v[i + static_cast<std::size_t>(col) * ldv] *
+             c[r + static_cast<std::size_t>(col) * ldc];
+      }
+      w *= tau[i];
+      c[r + static_cast<std::size_t>(i) * ldc] -= w;
+      for (int col = i + 1; col < n; ++col) {
+        c[r + static_cast<std::size_t>(col) * ldc] -=
+            v[i + static_cast<std::size_t>(col) * ldv] * w;
+      }
+    }
+  }
+}
+
+/// TPLQT2 (l = 0): LQ of the side-by-side pair [L (m x m, lower) | B (m x n)].
+/// L updated in place, B overwritten with the reflector row-tails V2,
+/// tau[0..m-1] the scalars. Reflector i touches column i of L plus all of B.
+template <typename T>
+void tplqt2(int m, int n, T* l, int ldl, T* b, int ldb, T* tau) {
+  for (int i = 0; i < m; ++i) {
+    // Row-reflector from [L[i,i] | B[i, 0..n-1]] (B row i, stride ldb).
+    T* b_row = b + static_cast<std::size_t>(i);
+    const auto refl = qr_detail::make_reflector<T>(
+        l[i + static_cast<std::size_t>(i) * ldl], b_row, n, ldb);
+    l[i + static_cast<std::size_t>(i) * ldl] = refl.beta;
+    tau[i] = refl.tau;
+    if (refl.tau == T{}) continue;
+    for (int r = i + 1; r < m; ++r) {
+      T w = l[r + static_cast<std::size_t>(i) * ldl];
+      for (int c = 0; c < n; ++c) {
+        w += b[i + static_cast<std::size_t>(c) * ldb] * b[r + static_cast<std::size_t>(c) * ldb];
+      }
+      w *= refl.tau;
+      l[r + static_cast<std::size_t>(i) * ldl] -= w;
+      for (int c = 0; c < n; ++c) {
+        b[r + static_cast<std::size_t>(c) * ldb] -=
+            b[i + static_cast<std::size_t>(c) * ldb] * w;
+      }
+    }
+  }
+}
+
+/// TPMLQT (right, transpose, l = 0): applies the k row-reflectors from
+/// tplqt2 (tails in V2, k x n) to the pair [C1 (m x k) | C2 (m x n)],
+/// in the same ascending order the factorization used.
+template <typename T>
+void tpmlqt_right_trans(int m, int n, int k, const T* v2, int ldv, const T* tau, T* c1, int ldc1,
+                        T* c2, int ldc2) {
+  for (int i = 0; i < k; ++i) {
+    if (tau[i] == T{}) continue;
+    for (int r = 0; r < m; ++r) {
+      T w = c1[r + static_cast<std::size_t>(i) * ldc1];
+      for (int c = 0; c < n; ++c) {
+        w += v2[i + static_cast<std::size_t>(c) * ldv] *
+             c2[r + static_cast<std::size_t>(c) * ldc2];
+      }
+      w *= tau[i];
+      c1[r + static_cast<std::size_t>(i) * ldc1] -= w;
+      for (int c = 0; c < n; ++c) {
+        c2[r + static_cast<std::size_t>(c) * ldc2] -=
+            v2[i + static_cast<std::size_t>(c) * ldv] * w;
+      }
+    }
+  }
+}
+
+// -- codelets & builder --------------------------------------------------------
+
+template <typename T>
+class LqCodelets {
+ public:
+  LqCodelets() {
+    const char* s = scalar_traits<T>::suffix;
+
+    // gelqt: A_kk (RW), tau (W)
+    gelqt_.name = std::string{s} + "gelqt";
+    gelqt_.klass = hw::KernelClass::kQrPanel;
+    gelqt_.where = rt::kWhereAny;
+    gelqt_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      gelq2<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+               detail::tile_ptr<T>(task, 1));
+    };
+
+    // unmlq: V = A_kk (R), tau (R), C = A_mk (RW)
+    unmlq_.name = std::string{s} + "unmlq";
+    unmlq_.klass = hw::KernelClass::kQrApply;
+    unmlq_.where = rt::kWhereAny;
+    unmlq_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      orml2_right_trans<T>(args.nb, args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                           detail::tile_ptr<T>(task, 1), detail::tile_ptr<T>(task, 2), args.nb);
+    };
+
+    // tslqt: L = A_kk (RW), B/V2 = A_kj (RW), tau (W)
+    tslqt_.name = std::string{s} + "tslqt";
+    tslqt_.klass = hw::KernelClass::kQrPanel;
+    tslqt_.where = rt::kWhereAny;
+    tslqt_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      tplqt2<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                detail::tile_ptr<T>(task, 1), args.nb, detail::tile_ptr<T>(task, 2));
+    };
+
+    // tsmlq: V2 = A_kj (R), tau (R), C1 = A_mk (RW), C2 = A_mj (RW)
+    tsmlq_.name = std::string{s} + "tsmlq";
+    tsmlq_.klass = hw::KernelClass::kQrApply;
+    tsmlq_.where = rt::kWhereAny;
+    tsmlq_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      tpmlqt_right_trans<T>(args.nb, args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                            detail::tile_ptr<T>(task, 1), detail::tile_ptr<T>(task, 2), args.nb,
+                            detail::tile_ptr<T>(task, 3), args.nb);
+    };
+  }
+
+  [[nodiscard]] const rt::Codelet& gelqt() const { return gelqt_; }
+  [[nodiscard]] const rt::Codelet& unmlq() const { return unmlq_; }
+  [[nodiscard]] const rt::Codelet& tslqt() const { return tslqt_; }
+  [[nodiscard]] const rt::Codelet& tsmlq() const { return tsmlq_; }
+
+ private:
+  rt::Codelet gelqt_;
+  rt::Codelet unmlq_;
+  rt::Codelet tslqt_;
+  rt::Codelet tsmlq_;
+};
+
+/// Submits the flat-tree tile LQ of A in place. Reuses QrWorkspace for the
+/// tau buffers (identical shape; ts_tau is indexed (j, k) here).
+template <typename T>
+void submit_gelqf(rt::Runtime& runtime, const LqCodelets<T>& cl, TileMatrix<T>& a,
+                  QrWorkspace<T>& workspace) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+  const auto base = [nt](int k) { return static_cast<std::int64_t>(nt - k) * 4096; };
+
+  for (int k = 0; k < nt; ++k) {
+    {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.gelqt();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kReadWrite},
+                       {workspace.panel_tau(k), rt::AccessMode::kWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kQrPanel, flops_lq::gelqt(nb), nb);
+      desc.priority = base(k) + 3 * 1024;
+      desc.label = detail::idx_label("gelqt", k, k);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int m = k + 1; m < nt; ++m) {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.unmlq();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kRead},
+                       {workspace.panel_tau(k), rt::AccessMode::kRead},
+                       {a.handle(m, k), rt::AccessMode::kReadWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kQrApply, flops_lq::unmlq(nb), nb);
+      desc.priority = base(k) + 2 * 1024 - (m - k - 1);
+      desc.label = detail::idx_label("unmlq", m, k);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int j = k + 1; j < nt; ++j) {
+      {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.tslqt();
+        desc.accesses = {{a.handle(k, k), rt::AccessMode::kReadWrite},
+                         {a.handle(k, j), rt::AccessMode::kReadWrite},
+                         {workspace.ts_tau(j, k), rt::AccessMode::kWrite}};
+        desc.work = detail::make_work<T>(hw::KernelClass::kQrPanel, flops_lq::tslqt(nb), nb);
+        desc.priority = base(k) + 2 * 1024 - (j - k - 1);
+        desc.label = detail::idx_label("tslqt", k, j);
+        desc.arg = TileArgs<T>{nb, T{1}};
+        runtime.submit(std::move(desc));
+      }
+      for (int m = k + 1; m < nt; ++m) {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.tsmlq();
+        desc.accesses = {{a.handle(k, j), rt::AccessMode::kRead},
+                         {workspace.ts_tau(j, k), rt::AccessMode::kRead},
+                         {a.handle(m, k), rt::AccessMode::kReadWrite},
+                         {a.handle(m, j), rt::AccessMode::kReadWrite}};
+        desc.work = detail::make_work<T>(hw::KernelClass::kQrApply, flops_lq::tsmlq(nb), nb);
+        desc.priority = base(k) + 1024 - (m - k) - (j - k);
+        desc.label = detail::idx_label("tsmlq", m, j, k);
+        desc.arg = TileArgs<T>{nb, T{1}};
+        runtime.submit(std::move(desc));
+      }
+    }
+  }
+}
+
+/// Task count (mirror of tile QR): nt + nt(nt-1) + nt(nt-1)(2nt-1)/6.
+[[nodiscard]] constexpr std::int64_t gelqf_task_count(std::int64_t nt) {
+  return geqrf_task_count(nt);
+}
+
+/// Registers calibration sets for the four LQ kernels.
+template <typename T>
+void calibrate_lq_codelets(rt::Calibrator& calibrator, const LqCodelets<T>& cl,
+                           const std::vector<int>& tile_sizes, int samples_per_point = 3) {
+  auto works = [&](hw::KernelClass klass, auto flops_of) {
+    std::vector<hw::KernelWork> out;
+    out.reserve(tile_sizes.size());
+    for (int nb : tile_sizes) {
+      out.push_back(hw::KernelWork{klass, scalar_traits<T>::precision, flops_of(nb),
+                                   static_cast<double>(nb)});
+    }
+    return out;
+  };
+  calibrator.calibrate(cl.gelqt(), works(hw::KernelClass::kQrPanel,
+                                         [](int nb) { return flops_lq::gelqt(nb); }),
+                       samples_per_point);
+  calibrator.calibrate(cl.unmlq(), works(hw::KernelClass::kQrApply,
+                                         [](int nb) { return flops_lq::unmlq(nb); }),
+                       samples_per_point);
+  calibrator.calibrate(cl.tslqt(), works(hw::KernelClass::kQrPanel,
+                                         [](int nb) { return flops_lq::tslqt(nb); }),
+                       samples_per_point);
+  calibrator.calibrate(cl.tsmlq(), works(hw::KernelClass::kQrApply,
+                                         [](int nb) { return flops_lq::tsmlq(nb); }),
+                       samples_per_point);
+}
+
+}  // namespace greencap::la

@@ -1,0 +1,185 @@
+// Tiled LU factorization without pivoting (GETRF) — an extension beyond
+// the paper's two operations, following the same Chameleon-style recipe:
+// a panel kernel that favours the CPU, triangular updates, and a GEMM bulk
+// that dominates the flops. Restricted to diagonally dominant matrices
+// (no pivoting), which TileMatrix::make_diagonally_dominant() produces.
+//
+// DAG per step k:   GETRF(A_kk)
+//                   TRSM_U(A_kj) = L_kk^{-1} A_kj   for j > k
+//                   TRSM_L(A_ik) = A_ik U_kk^{-1}   for i > k
+//                   GEMM(A_ij) -= A_ik A_kj         for i, j > k
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "hw/kernel_work.hpp"
+#include "la/blas.hpp"
+#include "la/codelets.hpp"
+#include "la/flops.hpp"
+#include "la/operations.hpp"
+#include "la/tile_matrix.hpp"
+#include "rt/calibration.hpp"
+#include "rt/runtime.hpp"
+
+namespace greencap::la {
+
+namespace flops_lu {
+/// LU of an n x n matrix (LAWN 41): 2n^3/3 - n^2/2 - n/6.
+[[nodiscard]] constexpr double getrf(double n) {
+  return 2.0 * n * n * n / 3.0 - n * n / 2.0 - n / 6.0;
+}
+[[nodiscard]] constexpr double lu_total(double n) { return getrf(n); }
+}  // namespace flops_lu
+
+/// Codelets of tile LU for scalar type T. Access-order conventions:
+///   getrf  : A (RW)
+///   trsm_u : L-panel tile (R), A_kj (RW)   -> A_kj := L_kk^{-1} A_kj
+///   trsm_l : U-panel tile (R), A_ik (RW)   -> A_ik := A_ik U_kk^{-1}
+///   gemm   : shared with Codelets<T> (A_ik R, A_kj R, A_ij RW)
+template <typename T>
+class LuCodelets {
+ public:
+  LuCodelets() {
+    const char* s = scalar_traits<T>::suffix;
+
+    getrf_.name = std::string{s} + "getrf";
+    getrf_.klass = hw::KernelClass::kGetrf;
+    getrf_.where = rt::kWhereAny;
+    getrf_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      la::getrf_nopiv<T>(args.nb, detail::tile_ptr<T>(task, 0), args.nb);
+    };
+
+    trsm_u_.name = std::string{s} + "trsm_llu";
+    trsm_u_.klass = hw::KernelClass::kTrsm;
+    trsm_u_.where = rt::kWhereAny;
+    trsm_u_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      la::trsm_left_lower_unit<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                                  detail::tile_ptr<T>(task, 1), args.nb);
+    };
+
+    trsm_l_.name = std::string{s} + "trsm_run";
+    trsm_l_.klass = hw::KernelClass::kTrsm;
+    trsm_l_.where = rt::kWhereAny;
+    trsm_l_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      la::trsm_right_upper_nonunit<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                                      detail::tile_ptr<T>(task, 1), args.nb);
+    };
+  }
+
+  [[nodiscard]] const rt::Codelet& getrf() const { return getrf_; }
+  [[nodiscard]] const rt::Codelet& trsm_u() const { return trsm_u_; }
+  [[nodiscard]] const rt::Codelet& trsm_l() const { return trsm_l_; }
+  [[nodiscard]] const rt::Codelet& gemm() const { return blas3_.gemm(); }
+
+ private:
+  rt::Codelet getrf_;
+  rt::Codelet trsm_u_;
+  rt::Codelet trsm_l_;
+  Codelets<T> blas3_;
+};
+
+/// Submits the in-place tile LU (no pivoting) of A.
+template <typename T>
+void submit_getrf(rt::Runtime& runtime, const LuCodelets<T>& cl, TileMatrix<T>& a) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+  const auto base = [nt](int k) { return static_cast<std::int64_t>(nt - k) * 4096; };
+
+  for (int k = 0; k < nt; ++k) {
+    {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.getrf();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kReadWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kGetrf, flops_lu::getrf(nb), nb);
+      desc.priority = base(k) + 3 * 1024;
+      desc.label = detail::idx_label("getrf", k, k);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int j = k + 1; j < nt; ++j) {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.trsm_u();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kRead},
+                       {a.handle(k, j), rt::AccessMode::kReadWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kTrsm, flops::trsm(nb, nb), nb);
+      desc.priority = base(k) + 2 * 1024 - (j - k - 1);
+      desc.label = detail::idx_label("trsm_u", k, j);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.trsm_l();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kRead},
+                       {a.handle(i, k), rt::AccessMode::kReadWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kTrsm, flops::trsm(nb, nb), nb);
+      desc.priority = base(k) + 2 * 1024 - (i - k - 1);
+      desc.label = detail::idx_label("trsm_l", i, k);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      for (int j = k + 1; j < nt; ++j) {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.gemm();
+        desc.accesses = {{a.handle(i, k), rt::AccessMode::kRead},
+                         {a.handle(k, j), rt::AccessMode::kRead},
+                         {a.handle(i, j), rt::AccessMode::kReadWrite}};
+        desc.work = detail::make_work<T>(hw::KernelClass::kGemm, flops::gemm(nb), nb);
+        desc.priority = base(k) + 1024 - (i - k) - (j - k);
+        desc.label = detail::idx_label("gemm_lu", i, j, k);
+        desc.arg = GemmArgs<T>{nb, T{-1}, T{1}, /*trans_a=*/false, /*trans_b=*/false};
+        runtime.submit(std::move(desc));
+      }
+    }
+  }
+}
+
+/// Registers calibration sets for the LU-specific kernels (the shared gemm
+/// codelet is covered by calibrate_codelets).
+template <typename T>
+void calibrate_lu_codelets(rt::Calibrator& calibrator, const LuCodelets<T>& cl,
+                           const std::vector<int>& tile_sizes, int samples_per_point = 3) {
+  auto works = [&](hw::KernelClass klass, auto flops_of) {
+    std::vector<hw::KernelWork> out;
+    out.reserve(tile_sizes.size());
+    for (int nb : tile_sizes) {
+      out.push_back(hw::KernelWork{klass, scalar_traits<T>::precision, flops_of(nb),
+                                   static_cast<double>(nb)});
+    }
+    return out;
+  };
+  calibrator.calibrate(cl.getrf(), works(hw::KernelClass::kGetrf,
+                                         [](int nb) { return flops_lu::getrf(nb); }),
+                       samples_per_point);
+  calibrator.calibrate(cl.trsm_u(), works(hw::KernelClass::kTrsm,
+                                          [](int nb) { return flops::trsm(nb, nb); }),
+                       samples_per_point);
+  calibrator.calibrate(cl.trsm_l(), works(hw::KernelClass::kTrsm,
+                                          [](int nb) { return flops::trsm(nb, nb); }),
+                       samples_per_point);
+  calibrator.calibrate(cl.gemm(), works(hw::KernelClass::kGemm,
+                                        [](int nb) { return flops::gemm(nb); }),
+                       samples_per_point);
+}
+
+/// Task count of the tiled LU DAG: sum over panels of
+/// 1 + 2(nt-k-1) + (nt-k-1)^2 = nt(nt+1)(2nt+1)/6.
+[[nodiscard]] constexpr std::int64_t getrf_task_count(std::int64_t nt) {
+  return nt * (nt + 1) * (2 * nt + 1) / 6;
+}
+
+/// Dense reference LU without pivoting (for verification).
+template <typename T>
+void reference_getrf(std::int64_t n, std::vector<T>& a) {
+  getrf_nopiv<T>(static_cast<int>(n), a.data(), static_cast<int>(n));
+}
+
+}  // namespace greencap::la

@@ -1,0 +1,157 @@
+// Task-graph builders for the paper's two operations: tiled GEMM and tiled
+// Cholesky factorization (POTRF), with Chameleon-style expert priorities.
+//
+// DAG shapes (paper section III-C): GEMM is nt^3 identical compute-bound
+// tasks with massive parallelism; POTRF has N(N+1)(N+2)/6 vertices for an
+// N x N tile matrix, about half of them GEMM tasks, and a critical path
+// k -> POTRF(k) -> TRSM(k+1,k) -> SYRK(k+1,k) -> POTRF(k+1) whose panel
+// kernels favour the CPU. Priorities approximate the remaining critical
+// path, exactly the kind of offline expert hint Chameleon ships.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/kernel_work.hpp"
+#include "la/codelets.hpp"
+#include "la/flops.hpp"
+#include "la/tile_matrix.hpp"
+#include "rt/runtime.hpp"
+
+namespace greencap::la {
+
+namespace detail {
+
+template <typename T>
+[[nodiscard]] hw::KernelWork make_work(hw::KernelClass klass, double flops, int nb) {
+  return hw::KernelWork{
+      .klass = klass,
+      .precision = scalar_traits<T>::precision,
+      .flops = flops,
+      .work_dim = static_cast<double>(nb),
+  };
+}
+
+[[nodiscard]] inline std::string idx_label(const char* op, int a, int b, int c = -1) {
+  std::string out = op;
+  out += '(' + std::to_string(a) + ',' + std::to_string(b);
+  if (c >= 0) out += ',' + std::to_string(c);
+  out += ')';
+  return out;
+}
+
+}  // namespace detail
+
+/// Transposition selector for submit_gemm (BLAS's CblasNoTrans/CblasTrans).
+enum class Trans : bool { kNoTrans = false, kTrans = true };
+
+/// Submits C = alpha * op(A) * op(B) + beta * C over nt x nt tiles. The
+/// inner k chain of each C(i,j) is serialized by the RW access; priorities
+/// favour finishing chains (higher priority for larger k) so accumulators
+/// retire.
+template <typename T>
+void submit_gemm(rt::Runtime& runtime, const Codelets<T>& cl, TileMatrix<T>& a, TileMatrix<T>& b,
+                 TileMatrix<T>& c, T alpha = T{1}, T beta = T{0},
+                 Trans op_a = Trans::kNoTrans, Trans op_b = Trans::kNoTrans) {
+  const int nt = c.nt();
+  const int nb = c.nb();
+  if (a.nt() != nt || b.nt() != nt || a.nb() != nb || b.nb() != nb) {
+    throw std::invalid_argument("submit_gemm: conforming square tilings required");
+  }
+  const bool ta = op_a == Trans::kTrans;
+  const bool tb = op_b == Trans::kTrans;
+  for (int j = 0; j < nt; ++j) {
+    for (int i = 0; i < nt; ++i) {
+      for (int k = 0; k < nt; ++k) {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.gemm();
+        // op(A)'s tile (i, k) lives at (k, i) when A is transposed; the
+        // kernel then transposes within the tile. Likewise for B.
+        desc.accesses = {{a.handle(ta ? k : i, ta ? i : k), rt::AccessMode::kRead},
+                         {b.handle(tb ? j : k, tb ? k : j), rt::AccessMode::kRead},
+                         {c.handle(i, j), rt::AccessMode::kReadWrite}};
+        desc.work = detail::make_work<T>(hw::KernelClass::kGemm, flops::gemm(nb), nb);
+        desc.priority = k;  // deeper chain position = more urgent
+        desc.label = detail::idx_label("gemm", i, j, k);
+        desc.arg = GemmArgs<T>{nb, alpha, k == 0 ? beta : T{1}, ta, tb};
+        runtime.submit(std::move(desc));
+      }
+    }
+  }
+}
+
+/// Submits the lower-Cholesky factorization of SPD matrix A in place
+/// (right-looking tile algorithm).
+template <typename T>
+void submit_potrf(rt::Runtime& runtime, const Codelets<T>& cl, TileMatrix<T>& a) {
+  const int nt = a.nt();
+  const int nb = a.nb();
+
+  // Priority = approximate remaining critical path from the task, scaled so
+  // panel kernels of step k outrank every update kernel of step k, which
+  // outranks everything of step k+1 (Chameleon's expert ordering).
+  const auto base = [nt](int k) { return static_cast<std::int64_t>(nt - k) * 4096; };
+
+  for (int k = 0; k < nt; ++k) {
+    {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.potrf();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kReadWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kPotrf, flops::potrf(nb), nb);
+      desc.priority = base(k) + 3 * 1024;
+      desc.label = detail::idx_label("potrf", k, k);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int m = k + 1; m < nt; ++m) {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.trsm();
+      desc.accesses = {{a.handle(k, k), rt::AccessMode::kRead},
+                       {a.handle(m, k), rt::AccessMode::kReadWrite}};
+      desc.work = detail::make_work<T>(hw::KernelClass::kTrsm, flops::trsm(nb, nb), nb);
+      // The m = k+1 TRSM feeds the next panel: most urgent of its wave.
+      desc.priority = base(k) + 2 * 1024 - (m - k - 1);
+      desc.label = detail::idx_label("trsm", m, k);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int m = k + 1; m < nt; ++m) {
+      {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.syrk();
+        desc.accesses = {{a.handle(m, k), rt::AccessMode::kRead},
+                         {a.handle(m, m), rt::AccessMode::kReadWrite}};
+        desc.work = detail::make_work<T>(hw::KernelClass::kSyrk, flops::syrk(nb, nb), nb);
+        desc.priority = base(k) + 1024 - (m - k - 1);
+        desc.label = detail::idx_label("syrk", m, k);
+        desc.arg = TileArgs<T>{nb, T{-1}};
+        runtime.submit(std::move(desc));
+      }
+      for (int n = k + 1; n < m; ++n) {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.gemm();
+        desc.accesses = {{a.handle(m, k), rt::AccessMode::kRead},
+                         {a.handle(n, k), rt::AccessMode::kRead},
+                         {a.handle(m, n), rt::AccessMode::kReadWrite}};
+        desc.work = detail::make_work<T>(hw::KernelClass::kGemm, flops::gemm(nb), nb);
+        desc.priority = base(k) + 1024 - (m - n);
+        desc.label = detail::idx_label("gemm", m, n, k);
+        // A(m,n) -= A(m,k) * A(n,k)^T
+        desc.arg = GemmArgs<T>{nb, T{-1}, T{1}, /*trans_a=*/false, /*trans_b=*/true};
+        runtime.submit(std::move(desc));
+      }
+    }
+  }
+}
+
+/// Expected task count of the tiled Cholesky DAG: nt(nt+1)(nt+2)/6.
+[[nodiscard]] constexpr std::int64_t potrf_task_count(std::int64_t nt) {
+  return nt * (nt + 1) * (nt + 2) / 6;
+}
+
+/// GEMM tasks inside a Cholesky DAG: nt(nt-1)(nt-2)/6.
+[[nodiscard]] constexpr std::int64_t potrf_gemm_task_count(std::int64_t nt) {
+  return nt * (nt - 1) * (nt - 2) / 6;
+}
+
+}  // namespace greencap::la

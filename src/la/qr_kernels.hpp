@@ -1,0 +1,153 @@
+// Householder QR kernels for the tiled QR factorization (LAPACK's geqr2 /
+// orm2r / tpqrt2 / tpmqrt shapes, unblocked). Column-major storage.
+//
+// Conventions: reflectors H_j = I - tau_j v_j v_j^T with v_j[j] = 1 and the
+// sub-diagonal part of v_j stored where it annihilated entries; Q = H_0
+// H_1 ... H_{k-1}, so applying Q^T means applying H_0 first.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace greencap::la {
+
+namespace qr_detail {
+
+/// Generates a Householder reflector for x = [alpha; rest(len)] such that
+/// H x = [beta; 0]. `rest` is scaled into the v-vector tail in place;
+/// returns tau and writes beta over alpha's slot via the return pair.
+template <typename T>
+struct Reflector {
+  T beta;
+  T tau;
+};
+
+template <typename T>
+Reflector<T> make_reflector(T alpha, T* rest, int len, int stride = 1) {
+  T norm_sq{};
+  for (int i = 0; i < len; ++i) {
+    const T v = rest[static_cast<std::size_t>(i) * stride];
+    norm_sq += v * v;
+  }
+  if (norm_sq == T{}) {
+    return {alpha, T{}};  // already upper-triangular in this column
+  }
+  const T norm_x = std::sqrt(alpha * alpha + norm_sq);
+  const T beta = alpha >= T{} ? -norm_x : norm_x;
+  const T tau = (beta - alpha) / beta;
+  const T scale = T{1} / (alpha - beta);
+  for (int i = 0; i < len; ++i) {
+    rest[static_cast<std::size_t>(i) * stride] *= scale;
+  }
+  return {beta, tau};
+}
+
+}  // namespace qr_detail
+
+/// GEQR2: unblocked Householder QR of A (m x n, m >= n) in place. On exit
+/// the upper triangle holds R, the strict lower triangle the reflector
+/// tails; tau[0..n-1] receives the scalar factors.
+template <typename T>
+void geqr2(int m, int n, T* a, int lda, T* tau) {
+  if (m < n) {
+    throw std::invalid_argument("geqr2: requires m >= n");
+  }
+  for (int j = 0; j < n; ++j) {
+    T* col = a + static_cast<std::size_t>(j) * lda;
+    const auto refl = qr_detail::make_reflector<T>(col[j], col + j + 1, m - j - 1);
+    col[j] = refl.beta;
+    tau[j] = refl.tau;
+    if (refl.tau == T{}) continue;
+    // Apply H_j to the trailing columns.
+    for (int c = j + 1; c < n; ++c) {
+      T* tc = a + static_cast<std::size_t>(c) * lda;
+      T w = tc[j];
+      for (int i = j + 1; i < m; ++i) {
+        w += col[i] * tc[i];
+      }
+      w *= refl.tau;
+      tc[j] -= w;
+      for (int i = j + 1; i < m; ++i) {
+        tc[i] -= col[i] * w;
+      }
+    }
+  }
+}
+
+/// ORM2R (left, transpose): C (m x n) := Q^T C, with Q's k reflectors
+/// stored in V (m x k, unit lower) and tau from geqr2.
+template <typename T>
+void orm2r_left_trans(int m, int n, int k, const T* v, int ldv, const T* tau, T* c, int ldc) {
+  for (int j = 0; j < k; ++j) {  // Q^T: H_0 first
+    if (tau[j] == T{}) continue;
+    const T* vj = v + static_cast<std::size_t>(j) * ldv;
+    for (int col = 0; col < n; ++col) {
+      T* cc = c + static_cast<std::size_t>(col) * ldc;
+      T w = cc[j];
+      for (int i = j + 1; i < m; ++i) {
+        w += vj[i] * cc[i];
+      }
+      w *= tau[j];
+      cc[j] -= w;
+      for (int i = j + 1; i < m; ++i) {
+        cc[i] -= vj[i] * w;
+      }
+    }
+  }
+}
+
+/// TPQRT2 (l = 0): QR of the stacked pair [R; B] where R (n x n) is upper
+/// triangular and B (m x n) dense. R is updated in place, B is overwritten
+/// with the dense reflector tails V2, tau receives the scalars. Reflector
+/// j touches only row j of R plus all of B (its top part is e_j).
+template <typename T>
+void tpqrt2(int m, int n, T* r, int ldr, T* b, int ldb, T* tau) {
+  for (int j = 0; j < n; ++j) {
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
+    const auto refl =
+        qr_detail::make_reflector<T>(r[j + static_cast<std::size_t>(j) * ldr], bj, m);
+    r[j + static_cast<std::size_t>(j) * ldr] = refl.beta;
+    tau[j] = refl.tau;
+    if (refl.tau == T{}) continue;
+    for (int c = j + 1; c < n; ++c) {
+      T* rc = r + static_cast<std::size_t>(c) * ldr;
+      T* bc = b + static_cast<std::size_t>(c) * ldb;
+      T w = rc[j];
+      for (int i = 0; i < m; ++i) {
+        w += bj[i] * bc[i];
+      }
+      w *= refl.tau;
+      rc[j] -= w;
+      for (int i = 0; i < m; ++i) {
+        bc[i] -= bj[i] * w;
+      }
+    }
+  }
+}
+
+/// TPMQRT (left, transpose, l = 0): applies the k reflectors produced by
+/// tpqrt2 (tails in V2, m x k) to the stacked pair [C1 (k x n); C2 (m x n)].
+template <typename T>
+void tpmqrt_left_trans(int m, int n, int k, const T* v2, int ldv, const T* tau, T* c1, int ldc1,
+                       T* c2, int ldc2) {
+  for (int j = 0; j < k; ++j) {
+    if (tau[j] == T{}) continue;
+    const T* vj = v2 + static_cast<std::size_t>(j) * ldv;
+    for (int col = 0; col < n; ++col) {
+      T* c1c = c1 + static_cast<std::size_t>(col) * ldc1;
+      T* c2c = c2 + static_cast<std::size_t>(col) * ldc2;
+      T w = c1c[j];
+      for (int i = 0; i < m; ++i) {
+        w += vj[i] * c2c[i];
+      }
+      w *= tau[j];
+      c1c[j] -= w;
+      for (int i = 0; i < m; ++i) {
+        c2c[i] -= vj[i] * w;
+      }
+    }
+  }
+}
+
+}  // namespace greencap::la

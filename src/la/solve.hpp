@@ -1,0 +1,147 @@
+// Tiled triangular solves after Cholesky: POTRS (and the POSV convenience
+// wrapper), "solving symmetric, positive definite systems of linear
+// equations" from the paper's Chameleon description.
+//
+//   A X = B  with  A = L L^T:
+//     forward sweep:   L  Y = B
+//     backward sweep:  L^T X = Y
+#pragma once
+
+#include <any>
+
+#include "hw/kernel_work.hpp"
+#include "la/codelets.hpp"
+#include "la/operations.hpp"
+#include "la/tile_matrix.hpp"
+#include "rt/runtime.hpp"
+
+namespace greencap::la {
+
+namespace flops_solve {
+/// POTRS for an n x n factor and n x nrhs right-hand sides: 2 n^2 nrhs.
+[[nodiscard]] constexpr double potrs(double n, double nrhs) { return 2.0 * n * n * nrhs; }
+}  // namespace flops_solve
+
+template <typename T>
+class SolveCodelets {
+ public:
+  SolveCodelets() {
+    const char* s = scalar_traits<T>::suffix;
+
+    // forward: L_kk (R), B_kj (RW)
+    trsm_fwd_.name = std::string{s} + "trsm_llnn";
+    trsm_fwd_.klass = hw::KernelClass::kTrsm;
+    trsm_fwd_.where = rt::kWhereAny;
+    trsm_fwd_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      trsm_left_lower_notrans<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                                 detail::tile_ptr<T>(task, 1), args.nb);
+    };
+
+    // backward: L_kk (R), B_kj (RW)
+    trsm_bwd_.name = std::string{s} + "trsm_lltn";
+    trsm_bwd_.klass = hw::KernelClass::kTrsm;
+    trsm_bwd_.where = rt::kWhereAny;
+    trsm_bwd_.cpu_func = [](rt::Task& task) {
+      if (!detail::has_storage<T>(task)) return;
+      const auto& args = std::any_cast<const TileArgs<T>&>(task.arg);
+      trsm_left_lower_trans<T>(args.nb, args.nb, detail::tile_ptr<T>(task, 0), args.nb,
+                               detail::tile_ptr<T>(task, 1), args.nb);
+    };
+  }
+
+  [[nodiscard]] const rt::Codelet& trsm_fwd() const { return trsm_fwd_; }
+  [[nodiscard]] const rt::Codelet& trsm_bwd() const { return trsm_bwd_; }
+  [[nodiscard]] const rt::Codelet& gemm() const { return blas3_.gemm(); }
+
+ private:
+  rt::Codelet trsm_fwd_;
+  rt::Codelet trsm_bwd_;
+  Codelets<T> blas3_;
+};
+
+/// Submits the two POTRS sweeps over B (nt x nt tiles of right-hand
+/// sides), given the factored lower-triangular L in `l` (only tiles
+/// (i, k) with i >= k are read).
+template <typename T>
+void submit_potrs(rt::Runtime& runtime, const SolveCodelets<T>& cl, TileMatrix<T>& l,
+                  TileMatrix<T>& b) {
+  const int nt = l.nt();
+  const int nb = l.nb();
+  if (b.nt() != nt || b.nb() != nb) {
+    throw std::invalid_argument("submit_potrs: conforming tilings required");
+  }
+  const auto trsm_work = [&] {
+    return detail::make_work<T>(hw::KernelClass::kTrsm, flops::trsm(nb, nb), nb);
+  };
+  const auto gemm_work = [&] {
+    return detail::make_work<T>(hw::KernelClass::kGemm, flops::gemm(nb), nb);
+  };
+
+  // Forward sweep: L Y = B.
+  for (int k = 0; k < nt; ++k) {
+    for (int j = 0; j < nt; ++j) {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.trsm_fwd();
+      desc.accesses = {{l.handle(k, k), rt::AccessMode::kRead},
+                       {b.handle(k, j), rt::AccessMode::kReadWrite}};
+      desc.work = trsm_work();
+      desc.priority = 2 * (nt - k) * 1024 + 512;
+      desc.label = detail::idx_label("trsm_fwd", k, j);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      for (int j = 0; j < nt; ++j) {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.gemm();
+        desc.accesses = {{l.handle(i, k), rt::AccessMode::kRead},
+                         {b.handle(k, j), rt::AccessMode::kRead},
+                         {b.handle(i, j), rt::AccessMode::kReadWrite}};
+        desc.work = gemm_work();
+        desc.priority = 2 * (nt - k) * 1024;
+        desc.label = detail::idx_label("gemm_fwd", i, j, k);
+        desc.arg = GemmArgs<T>{nb, T{-1}, T{1}, false, false};
+        runtime.submit(std::move(desc));
+      }
+    }
+  }
+
+  // Backward sweep: L^T X = Y.
+  for (int k = nt - 1; k >= 0; --k) {
+    for (int j = 0; j < nt; ++j) {
+      rt::TaskDesc desc;
+      desc.codelet = &cl.trsm_bwd();
+      desc.accesses = {{l.handle(k, k), rt::AccessMode::kRead},
+                       {b.handle(k, j), rt::AccessMode::kReadWrite}};
+      desc.work = trsm_work();
+      desc.priority = (k + 1) * 1024 + 512;
+      desc.label = detail::idx_label("trsm_bwd", k, j);
+      desc.arg = TileArgs<T>{nb, T{1}};
+      runtime.submit(std::move(desc));
+    }
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < nt; ++j) {
+        rt::TaskDesc desc;
+        desc.codelet = &cl.gemm();
+        // X_ij -= (L^T)_ik Y_kj = L_ki^T Y_kj: transposed-A gemm on L(k,i).
+        desc.accesses = {{l.handle(k, i), rt::AccessMode::kRead},
+                         {b.handle(k, j), rt::AccessMode::kRead},
+                         {b.handle(i, j), rt::AccessMode::kReadWrite}};
+        desc.work = gemm_work();
+        desc.priority = (k + 1) * 1024;
+        desc.label = detail::idx_label("gemm_bwd", i, j, k);
+        desc.arg = GemmArgs<T>{nb, T{-1}, T{1}, /*trans_a=*/true, /*trans_b=*/false};
+        runtime.submit(std::move(desc));
+      }
+    }
+  }
+}
+
+/// POTRS task count: 2 sweeps of nt x nt trsm + nt(nt-1)/2 * nt gemms each.
+[[nodiscard]] constexpr std::int64_t potrs_task_count(std::int64_t nt) {
+  return 2 * (nt * nt + nt * (nt - 1) / 2 * nt);
+}
+
+}  // namespace greencap::la

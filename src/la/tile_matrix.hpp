@@ -1,0 +1,183 @@
+// Tiled dense matrices (Chameleon's descriptor layout).
+//
+// An N x N matrix is split into nt x nt square tiles of order nb (N must
+// be divisible by nb, as in the paper's configurations — Table II). Tiles
+// are stored contiguously, column-major within each tile, so each tile is
+// one registerable data handle. A TileMatrix can be created without
+// storage ("metadata-only") for timing-only simulations of problems far
+// too large to hold in host memory.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hw/kernel_work.hpp"
+#include "rt/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace greencap::la {
+
+template <typename T>
+struct scalar_traits;
+
+template <>
+struct scalar_traits<float> {
+  static constexpr hw::Precision precision = hw::Precision::kSingle;
+  static constexpr const char* suffix = "s";
+};
+
+template <>
+struct scalar_traits<double> {
+  static constexpr hw::Precision precision = hw::Precision::kDouble;
+  static constexpr const char* suffix = "d";
+};
+
+template <typename T>
+class TileMatrix {
+ public:
+  /// Creates an n x n matrix of nb x nb tiles. With allocate=false only
+  /// metadata exists (host pointers are null), which is what the paper-
+  /// scale benchmark sweeps use.
+  TileMatrix(std::int64_t n, int nb, bool allocate = true, std::string name = "A")
+      : n_{n}, nb_{nb}, name_{std::move(name)} {
+    if (n <= 0 || nb <= 0 || n % nb != 0) {
+      throw std::invalid_argument("TileMatrix: n must be a positive multiple of nb");
+    }
+    nt_ = static_cast<int>(n / nb);
+    if (allocate) {
+      data_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+    }
+  }
+
+  [[nodiscard]] std::int64_t n() const { return n_; }
+  [[nodiscard]] int nb() const { return nb_; }
+  [[nodiscard]] int nt() const { return nt_; }
+  [[nodiscard]] bool allocated() const { return !data_.empty(); }
+  [[nodiscard]] std::uint64_t tile_bytes() const {
+    return static_cast<std::uint64_t>(nb_) * nb_ * sizeof(T);
+  }
+
+  /// Pointer to tile (i, j), column-major with leading dimension nb();
+  /// null for metadata-only matrices.
+  [[nodiscard]] T* tile(int i, int j) {
+    return data_.empty() ? nullptr : data_.data() + tile_offset(i, j);
+  }
+  [[nodiscard]] const T* tile(int i, int j) const {
+    return data_.empty() ? nullptr : data_.data() + tile_offset(i, j);
+  }
+
+  /// Element accessor (global row/col indices); requires storage.
+  [[nodiscard]] T& at(std::int64_t row, std::int64_t col) {
+    return data_[element_offset(row, col)];
+  }
+  [[nodiscard]] const T& at(std::int64_t row, std::int64_t col) const {
+    return data_[element_offset(row, col)];
+  }
+
+  /// Registers every tile with the runtime. Must be called once before
+  /// submitting operations on this matrix.
+  void register_with(rt::Runtime& runtime) {
+    handles_.assign(static_cast<std::size_t>(nt_) * nt_, nullptr);
+    for (int j = 0; j < nt_; ++j) {
+      for (int i = 0; i < nt_; ++i) {
+        handles_[handle_index(i, j)] = runtime.register_data(
+            tile_bytes(), tile(i, j), name_ + "(" + std::to_string(i) + "," + std::to_string(j) + ")");
+      }
+    }
+  }
+
+  [[nodiscard]] rt::DataHandle* handle(int i, int j) const {
+    if (handles_.empty()) {
+      throw std::logic_error("TileMatrix: register_with() has not been called");
+    }
+    return handles_[handle_index(i, j)];
+  }
+
+  // -- generators ------------------------------------------------------------
+
+  /// Uniform random entries in [-1, 1).
+  void fill_random(sim::Xoshiro256& rng) {
+    require_storage();
+    for (T& v : data_) {
+      v = static_cast<T>(rng.uniform(-1.0, 1.0));
+    }
+  }
+
+  /// Makes the matrix symmetric positive definite: random symmetric entries
+  /// with a dominant diagonal (A := (R + R^T)/2 + n * I).
+  void make_spd(sim::Xoshiro256& rng) {
+    require_storage();
+    fill_random(rng);
+    for (std::int64_t j = 0; j < n_; ++j) {
+      for (std::int64_t i = 0; i < j; ++i) {
+        const T sym = static_cast<T>(0.5) * (at(i, j) + at(j, i));
+        at(i, j) = sym;
+        at(j, i) = sym;
+      }
+      at(j, j) += static_cast<T>(n_);
+    }
+  }
+
+  /// Makes the matrix strictly diagonally dominant (random entries with
+  /// the diagonal boosted past the absolute row sum) — safe for LU without
+  /// pivoting.
+  void make_diagonally_dominant(sim::Xoshiro256& rng) {
+    require_storage();
+    fill_random(rng);
+    for (std::int64_t i = 0; i < n_; ++i) {
+      T row_sum{};
+      for (std::int64_t j = 0; j < n_; ++j) {
+        row_sum += std::abs(at(i, j));
+      }
+      at(i, i) = row_sum + T{1};
+    }
+  }
+
+  /// Dense column-major copy of the whole matrix (tests/verification).
+  [[nodiscard]] std::vector<T> to_dense() const {
+    require_storage();
+    std::vector<T> dense(static_cast<std::size_t>(n_) * n_);
+    for (std::int64_t j = 0; j < n_; ++j) {
+      for (std::int64_t i = 0; i < n_; ++i) {
+        dense[i + static_cast<std::size_t>(j) * n_] = at(i, j);
+      }
+    }
+    return dense;
+  }
+
+ private:
+  void require_storage() const {
+    if (data_.empty()) {
+      throw std::logic_error("TileMatrix '" + name_ + "' is metadata-only");
+    }
+  }
+  [[nodiscard]] std::size_t handle_index(int i, int j) const {
+    if (i < 0 || j < 0 || i >= nt_ || j >= nt_) {
+      throw std::out_of_range("TileMatrix: tile index out of range");
+    }
+    return static_cast<std::size_t>(i) + static_cast<std::size_t>(j) * nt_;
+  }
+  [[nodiscard]] std::size_t tile_offset(int i, int j) const {
+    return handle_index(i, j) * static_cast<std::size_t>(nb_) * nb_;
+  }
+  [[nodiscard]] std::size_t element_offset(std::int64_t row, std::int64_t col) const {
+    const int ti = static_cast<int>(row / nb_);
+    const int tj = static_cast<int>(col / nb_);
+    const int ri = static_cast<int>(row % nb_);
+    const int rj = static_cast<int>(col % nb_);
+    return tile_offset(ti, tj) + static_cast<std::size_t>(ri) +
+           static_cast<std::size_t>(rj) * nb_;
+  }
+
+  std::int64_t n_;
+  int nb_;
+  int nt_;
+  std::string name_;
+  std::vector<T> data_;
+  std::vector<rt::DataHandle*> handles_;
+};
+
+}  // namespace greencap::la

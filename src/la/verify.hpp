@@ -1,0 +1,56 @@
+// Numerical verification helpers (dense references and error norms).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/tile_matrix.hpp"
+
+namespace greencap::la {
+
+/// Dense reference GEMM: C = alpha * A * B + beta * C, all n x n
+/// column-major.
+template <typename T>
+void reference_gemm(std::int64_t n, T alpha, const std::vector<T>& a, const std::vector<T>& b,
+                    T beta, std::vector<T>& c) {
+  gemm<T>(static_cast<int>(n), static_cast<int>(n), static_cast<int>(n), alpha, a.data(),
+          static_cast<int>(n), b.data(), static_cast<int>(n), /*trans_b=*/false, beta, c.data(),
+          static_cast<int>(n));
+}
+
+/// Dense reference lower Cholesky in place.
+template <typename T>
+void reference_potrf(std::int64_t n, std::vector<T>& a) {
+  potrf_lower<T>(static_cast<int>(n), a.data(), static_cast<int>(n));
+}
+
+/// Relative max-norm difference over all elements.
+template <typename T>
+[[nodiscard]] double max_rel_error(const std::vector<T>& got, const std::vector<T>& want) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double denom = std::max(1.0, std::abs(static_cast<double>(want[i])));
+    worst = std::max(worst, std::abs(static_cast<double>(got[i]) - want[i]) / denom);
+  }
+  return worst;
+}
+
+/// Relative max-norm difference restricted to the lower triangle (for
+/// Cholesky results, whose strictly-upper part is unspecified).
+template <typename T>
+[[nodiscard]] double max_rel_error_lower(std::int64_t n, const std::vector<T>& got,
+                                         const std::vector<T>& want) {
+  double worst = 0.0;
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = j; i < n; ++i) {
+      const std::size_t idx = i + static_cast<std::size_t>(j) * n;
+      const double denom = std::max(1.0, std::abs(static_cast<double>(want[idx])));
+      worst = std::max(worst, std::abs(static_cast<double>(got[idx]) - want[idx]) / denom);
+    }
+  }
+  return worst;
+}
+
+}  // namespace greencap::la

@@ -1,0 +1,86 @@
+#include "nvml/nvml.hpp"
+
+#include <cmath>
+
+namespace greencap::nvml {
+
+const char* error_string(Result r) {
+  switch (r) {
+    case Result::kSuccess: return "Success";
+    case Result::kUninitialized: return "Uninitialized";
+    case Result::kInvalidArgument: return "Invalid argument";
+    case Result::kNotSupported: return "Not supported";
+    case Result::kNoPermission: return "Insufficient permissions";
+    case Result::kNotFound: return "Not found";
+    case Result::kInsufficientPower: return "Insufficient external power";
+  }
+  return "Unknown error";
+}
+
+Result Device::name(std::string* out) const {
+  if (out == nullptr) return Result::kInvalidArgument;
+  *out = model_->spec().name;
+  return Result::kSuccess;
+}
+
+Result Device::power_management_limit(std::uint32_t* mw) const {
+  if (mw == nullptr) return Result::kInvalidArgument;
+  *mw = static_cast<std::uint32_t>(std::lround(model_->power_cap() * 1000.0));
+  return Result::kSuccess;
+}
+
+Result Device::power_management_limit_constraints(std::uint32_t* min_mw,
+                                                  std::uint32_t* max_mw) const {
+  if (min_mw == nullptr || max_mw == nullptr) return Result::kInvalidArgument;
+  *min_mw = static_cast<std::uint32_t>(std::lround(model_->spec().min_cap_w * 1000.0));
+  *max_mw = static_cast<std::uint32_t>(std::lround(model_->spec().tdp_w * 1000.0));
+  return Result::kSuccess;
+}
+
+Result Device::power_management_default_limit(std::uint32_t* mw) const {
+  if (mw == nullptr) return Result::kInvalidArgument;
+  *mw = static_cast<std::uint32_t>(std::lround(model_->spec().tdp_w * 1000.0));
+  return Result::kSuccess;
+}
+
+Result Device::set_power_management_limit(std::uint32_t mw) {
+  const double watts = static_cast<double>(mw) / 1000.0;
+  if (watts < model_->spec().min_cap_w - 1e-9 || watts > model_->spec().tdp_w + 1e-9) {
+    return Result::kInvalidArgument;
+  }
+  model_->set_power_cap(watts, sim_->now());
+  return Result::kSuccess;
+}
+
+Result Device::total_energy_consumption(std::uint64_t* mj) const {
+  if (mj == nullptr) return Result::kInvalidArgument;
+  model_->advance(sim_->now());
+  *mj = static_cast<std::uint64_t>(std::llround(model_->energy_joules() * 1000.0));
+  return Result::kSuccess;
+}
+
+Result Device::power_usage(std::uint32_t* mw) const {
+  if (mw == nullptr) return Result::kInvalidArgument;
+  *mw = static_cast<std::uint32_t>(std::lround(model_->current_power_w() * 1000.0));
+  return Result::kSuccess;
+}
+
+Context::Context(hw::Platform& platform, const sim::Simulator& sim) {
+  devices_.reserve(platform.gpu_count());
+  for (std::size_t i = 0; i < platform.gpu_count(); ++i) {
+    devices_.push_back(Device{&platform.gpu(i), &sim});
+  }
+}
+
+std::uint32_t Context::device_count() const {
+  return static_cast<std::uint32_t>(devices_.size());
+}
+
+Result Context::device_handle_by_index(std::uint32_t index, Device** out) {
+  if (out == nullptr) return Result::kInvalidArgument;
+  if (index >= devices_.size()) return Result::kNotFound;
+  *out = &devices_[index];
+  return Result::kSuccess;
+}
+
+}  // namespace greencap::nvml

@@ -1,0 +1,82 @@
+// NVML-shaped management facade over simulated GPUs.
+//
+// The paper sets GPU power caps and reads energy through NVML
+// (nvmlDeviceSetPowerManagementLimit / nvmlDeviceGetTotalEnergyConsumption).
+// This facade reproduces the semantics and units of those entry points —
+// milliwatt limits, millijoule energy counters, status-code returns,
+// min/max constraint queries — over hw::GpuModel, so the measurement
+// methodology code is written exactly as it would be against real NVML.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "sim/simulator.hpp"
+
+namespace greencap::nvml {
+
+enum class Result : int {
+  kSuccess = 0,
+  kUninitialized = 1,
+  kInvalidArgument = 2,
+  kNotSupported = 3,
+  kNoPermission = 4,
+  kNotFound = 6,
+  kInsufficientPower = 8,
+};
+
+[[nodiscard]] const char* error_string(Result r);
+
+class Context;
+
+/// Handle to one simulated GPU, analogous to nvmlDevice_t.
+class Device {
+ public:
+  /// Device marketing name, e.g. "A100-SXM4-40GB".
+  [[nodiscard]] Result name(std::string* out) const;
+
+  /// Current power management limit, in milliwatts.
+  [[nodiscard]] Result power_management_limit(std::uint32_t* mw) const;
+
+  /// Settable range of the power limit, in milliwatts.
+  [[nodiscard]] Result power_management_limit_constraints(std::uint32_t* min_mw,
+                                                          std::uint32_t* max_mw) const;
+
+  /// Default (factory) power limit in milliwatts — the TDP.
+  [[nodiscard]] Result power_management_default_limit(std::uint32_t* mw) const;
+
+  /// Sets the power limit. Values outside the constraint range return
+  /// kInvalidArgument, matching real NVML (which does NOT clamp).
+  Result set_power_management_limit(std::uint32_t mw);
+
+  /// Total energy consumed since driver load, in millijoules.
+  [[nodiscard]] Result total_energy_consumption(std::uint64_t* mj) const;
+
+  /// Instantaneous board draw, in milliwatts.
+  [[nodiscard]] Result power_usage(std::uint32_t* mw) const;
+
+ private:
+  friend class Context;
+  Device(hw::GpuModel* model, const sim::Simulator* sim) : model_{model}, sim_{sim} {}
+  hw::GpuModel* model_;
+  const sim::Simulator* sim_;
+};
+
+/// Library context, analogous to the nvmlInit/nvmlShutdown session.
+///
+/// Binds device handles to a simulated Platform and to the virtual clock
+/// used for energy integration.
+class Context {
+ public:
+  Context(hw::Platform& platform, const sim::Simulator& sim);
+
+  [[nodiscard]] std::uint32_t device_count() const;
+  [[nodiscard]] Result device_handle_by_index(std::uint32_t index, Device** out);
+
+ private:
+  std::vector<Device> devices_;
+};
+
+}  // namespace greencap::nvml

@@ -1,0 +1,90 @@
+#include "power/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace greencap::power {
+
+char to_char(Level level) {
+  switch (level) {
+    case Level::kLow: return 'L';
+    case Level::kBest: return 'B';
+    case Level::kHigh: return 'H';
+  }
+  return '?';
+}
+
+Level level_from_char(char c) {
+  switch (c) {
+    case 'L': case 'l': return Level::kLow;
+    case 'B': case 'b': return Level::kBest;
+    case 'H': case 'h': return Level::kHigh;
+    default:
+      throw std::invalid_argument(std::string{"GpuConfig: invalid level character '"} + c + "'");
+  }
+}
+
+GpuConfig GpuConfig::parse(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("GpuConfig: empty configuration string");
+  }
+  std::vector<Level> levels;
+  levels.reserve(text.size());
+  for (char c : text) {
+    levels.push_back(level_from_char(c));
+  }
+  return GpuConfig{std::move(levels)};
+}
+
+GpuConfig GpuConfig::uniform(std::size_t gpus, Level level) {
+  return GpuConfig{std::vector<Level>(gpus, level)};
+}
+
+std::string GpuConfig::to_string() const {
+  std::string out;
+  out.reserve(levels_.size());
+  for (Level l : levels_) {
+    out.push_back(to_char(l));
+  }
+  return out;
+}
+
+bool GpuConfig::is_default() const {
+  return std::all_of(levels_.begin(), levels_.end(),
+                     [](Level l) { return l == Level::kHigh; });
+}
+
+std::vector<GpuConfig> standard_ladder(std::size_t gpus) {
+  std::vector<GpuConfig> out;
+  for (Level tail : {Level::kLow, Level::kBest}) {
+    for (std::size_t highs = 0; highs < gpus; ++highs) {
+      std::vector<Level> levels(gpus, tail);
+      std::fill(levels.begin(), levels.begin() + static_cast<std::ptrdiff_t>(highs),
+                Level::kHigh);
+      out.emplace_back(std::move(levels));
+    }
+  }
+  out.push_back(GpuConfig::uniform(gpus, Level::kHigh));
+  return out;
+}
+
+std::vector<GpuConfig> all_configs(std::size_t gpus) {
+  std::vector<GpuConfig> out;
+  const std::size_t total = [gpus] {
+    std::size_t t = 1;
+    for (std::size_t i = 0; i < gpus; ++i) t *= 3;
+    return t;
+  }();
+  for (std::size_t code = 0; code < total; ++code) {
+    std::vector<Level> levels(gpus);
+    std::size_t rest = code;
+    for (std::size_t g = 0; g < gpus; ++g) {
+      levels[g] = static_cast<Level>(rest % 3);
+      rest /= 3;
+    }
+    out.emplace_back(std::move(levels));
+  }
+  return out;
+}
+
+}  // namespace greencap::power

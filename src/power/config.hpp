@@ -1,0 +1,61 @@
+// Power-cap configurations: the paper's H/B/L notation.
+//
+// Each GPU of a node is assigned one of three states: H (P_max, the
+// default/TDP), B (P_best, the empirically best-efficiency cap from the
+// GEMM kernel study) or L (P_min, the lowest settable limit). A
+// configuration is written as one letter per GPU, e.g. "HHBB" caps GPUs 2
+// and 3 at their best-efficiency power. The paper found the position of
+// the capped GPUs within the string to be irrelevant (negligible
+// variation), so the canonical ladder puts H's first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greencap::power {
+
+enum class Level : std::uint8_t { kLow, kBest, kHigh };
+
+[[nodiscard]] char to_char(Level level);
+[[nodiscard]] Level level_from_char(char c);
+
+class GpuConfig {
+ public:
+  GpuConfig() = default;
+  explicit GpuConfig(std::vector<Level> levels) : levels_{std::move(levels)} {}
+
+  /// Parses "HHBB"-style strings. Throws std::invalid_argument on any
+  /// character outside {H, B, L} (case-insensitive).
+  [[nodiscard]] static GpuConfig parse(const std::string& text);
+
+  /// All GPUs at the same level.
+  [[nodiscard]] static GpuConfig uniform(std::size_t gpus, Level level);
+
+  [[nodiscard]] std::size_t size() const { return levels_.size(); }
+  [[nodiscard]] Level level(std::size_t gpu) const { return levels_.at(gpu); }
+  [[nodiscard]] const std::vector<Level>& levels() const { return levels_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool is_default() const;  ///< all H
+
+  [[nodiscard]] friend bool operator==(const GpuConfig& a, const GpuConfig& b) {
+    return a.levels_ == b.levels_;
+  }
+
+ private:
+  std::vector<Level> levels_;
+};
+
+/// The paper's evaluation ladder for an n-GPU node, in presentation order:
+/// L-ladder (LL..L, HL..L, ..., HH..HL), B-ladder (BB..B, ..., HH..HB),
+/// then the default HH..H.
+[[nodiscard]] std::vector<GpuConfig> standard_ladder(std::size_t gpus);
+
+/// Every distinct assignment of {H,B,L} to n GPUs (order-sensitive), for
+/// exhaustive studies — the paper evaluated these and found permutations
+/// equivalent.
+[[nodiscard]] std::vector<GpuConfig> all_configs(std::size_t gpus);
+
+}  // namespace greencap::power

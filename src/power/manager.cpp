@@ -1,0 +1,88 @@
+#include "power/manager.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace greencap::power {
+
+PowerManager::PowerManager(hw::Platform& platform, sim::Simulator& sim)
+    : platform_{platform}, nvml_{platform, sim}, rapl_{platform, sim} {
+  best_cap_w_.resize(platform.gpu_count());
+}
+
+void PowerManager::resolve_best_caps(hw::Precision precision, int matrix_dim) {
+  for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+    best_cap_w_[g] = find_best_cap_w(platform_.gpu(g).spec(), precision, matrix_dim);
+  }
+}
+
+void PowerManager::set_best_cap_w(std::size_t gpu, double watts) {
+  best_cap_w_.at(gpu) = watts;
+}
+
+double PowerManager::watts_for(std::size_t gpu, Level level) const {
+  const hw::GpuArchSpec& spec = platform_.gpu(gpu).spec();
+  switch (level) {
+    case Level::kLow: return spec.min_cap_w;
+    case Level::kHigh: return spec.tdp_w;
+    case Level::kBest:
+      if (!best_cap_w_.at(gpu)) {
+        throw std::invalid_argument(
+            "PowerManager: B level requested but best caps are unresolved — call "
+            "resolve_best_caps() first");
+      }
+      return *best_cap_w_[gpu];
+  }
+  throw std::invalid_argument("PowerManager: bad level");
+}
+
+void PowerManager::apply(const GpuConfig& config) {
+  if (config.size() != platform_.gpu_count()) {
+    throw std::invalid_argument("PowerManager: config '" + config.to_string() + "' targets " +
+                                std::to_string(config.size()) + " GPUs, platform has " +
+                                std::to_string(platform_.gpu_count()));
+  }
+  for (std::size_t g = 0; g < config.size(); ++g) {
+    const double watts = watts_for(g, config.level(g));
+    nvml::Device* dev = nullptr;
+    if (nvml_.device_handle_by_index(static_cast<std::uint32_t>(g), &dev) !=
+        nvml::Result::kSuccess) {
+      throw std::runtime_error("PowerManager: NVML handle lookup failed");
+    }
+    const auto mw = static_cast<std::uint32_t>(std::llround(watts * 1000.0));
+    if (dev->set_power_management_limit(mw) != nvml::Result::kSuccess) {
+      throw std::runtime_error("PowerManager: NVML rejected limit " + std::to_string(watts) +
+                               " W on GPU " + std::to_string(g));
+    }
+  }
+}
+
+void PowerManager::cap_cpu(std::size_t package, double fraction_of_tdp) {
+  if (fraction_of_tdp <= 0.0 || fraction_of_tdp > 1.0) {
+    throw std::invalid_argument("PowerManager: CPU cap fraction must be in (0, 1]");
+  }
+  rapl::Package& pkg = rapl_.package(package);
+  const double tdp = platform_.cpu(package).spec().tdp_w;
+  pkg.set_power_limit_uw(static_cast<std::uint64_t>(std::llround(tdp * fraction_of_tdp * 1e6)));
+}
+
+void PowerManager::reset() {
+  for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+    nvml::Device* dev = nullptr;
+    if (nvml_.device_handle_by_index(static_cast<std::uint32_t>(g), &dev) !=
+        nvml::Result::kSuccess) {
+      continue;
+    }
+    std::uint32_t tdp_mw = 0;
+    if (dev->power_management_default_limit(&tdp_mw) == nvml::Result::kSuccess) {
+      (void)dev->set_power_management_limit(tdp_mw);
+    }
+  }
+  for (std::size_t p = 0; p < platform_.cpu_count(); ++p) {
+    rapl_.package(p).set_power_limit_uw(
+        static_cast<std::uint64_t>(std::llround(platform_.cpu(p).spec().tdp_w * 1e6)));
+  }
+}
+
+}  // namespace greencap::power

@@ -1,0 +1,56 @@
+// PowerManager: applies H/B/L configurations to a platform through the
+// NVML and RAPL facades, exactly as the paper's scripts do on the real
+// machines (nvidia-smi -pl / RAPL powercap, between runs, with the
+// performance models recalibrated afterwards).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hw/kernel_work.hpp"
+#include "hw/platform.hpp"
+#include "nvml/nvml.hpp"
+#include "power/config.hpp"
+#include "power/sweep.hpp"
+#include "rapl/rapl.hpp"
+#include "sim/simulator.hpp"
+
+namespace greencap::power {
+
+class PowerManager {
+ public:
+  PowerManager(hw::Platform& platform, sim::Simulator& sim);
+
+  /// Resolves the B level for every GPU by running the section-II sweep
+  /// for the given precision and kernel size. Must be called before
+  /// applying any configuration containing B.
+  void resolve_best_caps(hw::Precision precision, int matrix_dim);
+
+  /// Overrides the B level of one GPU (e.g. to use Table II's values).
+  void set_best_cap_w(std::size_t gpu, double watts);
+
+  /// Watts a level resolves to on a given GPU.
+  [[nodiscard]] double watts_for(std::size_t gpu, Level level) const;
+
+  /// Applies a GPU configuration (one level per GPU) through NVML.
+  /// Throws std::invalid_argument if the config size mismatches the GPU
+  /// count or B caps are unresolved.
+  void apply(const GpuConfig& config);
+
+  /// Caps one CPU package to `fraction` of its TDP through RAPL (the
+  /// paper's section V-C experiment uses 48 % on the second package).
+  void cap_cpu(std::size_t package, double fraction_of_tdp);
+
+  /// Restores all GPUs and CPUs to their default limits.
+  void reset();
+
+  [[nodiscard]] std::size_t gpu_count() const { return nvml_.device_count(); }
+
+ private:
+  hw::Platform& platform_;
+  nvml::Context nvml_;
+  rapl::Session rapl_;
+  std::vector<std::optional<double>> best_cap_w_;
+};
+
+}  // namespace greencap::power

@@ -1,0 +1,69 @@
+#include "power/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/flops.hpp"
+
+namespace greencap::power {
+
+double SweepResult::efficiency_saving_pct() const {
+  const double def = at_default().efficiency_gflops_per_w;
+  return def > 0 ? (best().efficiency_gflops_per_w / def - 1.0) * 100.0 : 0.0;
+}
+
+double SweepResult::slowdown_pct() const {
+  const double def = at_default().gflops;
+  return def > 0 ? (1.0 - best().gflops / def) * 100.0 : 0.0;
+}
+
+SweepResult sweep_gemm_caps(const hw::GpuArchSpec& arch, hw::Precision precision, int matrix_dim,
+                            double step_pct_tdp) {
+  hw::GpuModel gpu{arch, /*index=*/0};
+  const hw::KernelWork work{
+      .klass = hw::KernelClass::kGemm,
+      .precision = precision,
+      .flops = la::flops::gemm(matrix_dim),
+      .work_dim = static_cast<double>(matrix_dim),
+  };
+
+  SweepResult result;
+  const double step_w = arch.tdp_w * step_pct_tdp / 100.0;
+  // Ascend from the minimum cap to the TDP inclusive (the paper: "from the
+  // lowest possible limit to no power capping at all with a step of 2 %").
+  // The grid is anchored at the minimum; the TDP point is always included
+  // even when the step does not divide the range evenly.
+  std::vector<double> caps;
+  for (double cap = arch.min_cap_w; cap < arch.tdp_w - 1e-9; cap += step_w) {
+    caps.push_back(cap);
+  }
+  caps.push_back(arch.tdp_w);
+  for (const double cap : caps) {
+    const double applied = gpu.set_power_cap(cap, sim::SimTime::zero());
+    SweepPoint point;
+    point.cap_w = applied;
+    point.cap_pct_tdp = applied / arch.tdp_w * 100.0;
+    point.time_s = gpu.execution_time(work).sec();
+    point.power_w = gpu.power_during(work);
+    point.gflops = point.time_s > 0 ? work.flops / point.time_s / 1e9 : 0.0;
+    point.energy_j = point.power_w * point.time_s;
+    point.efficiency_gflops_per_w = point.energy_j > 0 ? work.flops / point.energy_j / 1e9 : 0.0;
+    result.points.push_back(point);
+  }
+
+  result.default_index = result.points.size() - 1;
+  result.best_index = 0;
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    if (result.points[i].efficiency_gflops_per_w >
+        result.points[result.best_index].efficiency_gflops_per_w) {
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+double find_best_cap_w(const hw::GpuArchSpec& arch, hw::Precision precision, int matrix_dim) {
+  return sweep_gemm_caps(arch, precision, matrix_dim).best().cap_w;
+}
+
+}  // namespace greencap::power

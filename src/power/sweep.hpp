@@ -1,0 +1,50 @@
+// Single-kernel power-cap sweep: the paper's section II study.
+//
+// Sweeps a GPU's power limit from the hardware minimum to the TDP (2 %
+// steps by default) while running one large cuBLAS-style GEMM tile, and
+// records performance, average power, energy and energy efficiency at
+// every point. The maximum-efficiency point of this sweep defines P_best
+// (the B level) for the capping configurations.
+#pragma once
+
+#include <vector>
+
+#include "hw/gpu_model.hpp"
+#include "hw/kernel_work.hpp"
+
+namespace greencap::power {
+
+struct SweepPoint {
+  double cap_w = 0.0;
+  double cap_pct_tdp = 0.0;
+  double gflops = 0.0;
+  double power_w = 0.0;   ///< average draw during the kernel
+  double energy_j = 0.0;
+  double efficiency_gflops_per_w = 0.0;
+  double time_s = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;  ///< ascending cap
+  std::size_t best_index = 0;      ///< maximum-efficiency point
+  std::size_t default_index = 0;   ///< cap == TDP
+
+  [[nodiscard]] const SweepPoint& best() const { return points[best_index]; }
+  [[nodiscard]] const SweepPoint& at_default() const { return points[default_index]; }
+
+  /// Efficiency saving of best vs. default, in percent (Table I column).
+  [[nodiscard]] double efficiency_saving_pct() const;
+  /// Slowdown of best vs. default, in percent (positive = slower).
+  [[nodiscard]] double slowdown_pct() const;
+};
+
+/// Runs the sweep for a GEMM of order `matrix_dim` (one large tile, as in
+/// the paper's Fig. 1) on a pristine device of the given archetype.
+[[nodiscard]] SweepResult sweep_gemm_caps(const hw::GpuArchSpec& arch, hw::Precision precision,
+                                          int matrix_dim, double step_pct_tdp = 2.0);
+
+/// Convenience: P_best in watts for an archetype/precision/size.
+[[nodiscard]] double find_best_cap_w(const hw::GpuArchSpec& arch, hw::Precision precision,
+                                     int matrix_dim);
+
+}  // namespace greencap::power

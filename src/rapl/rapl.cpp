@@ -1,0 +1,56 @@
+#include "rapl/rapl.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace greencap::rapl {
+
+std::string Package::name() const { return model_->spec().name; }
+
+std::uint64_t Package::energy_uj() const {
+  model_->advance(sim_->now());
+  return static_cast<std::uint64_t>(std::llround(model_->energy_joules() * 1e6));
+}
+
+std::uint64_t Package::power_limit_uw() const {
+  return static_cast<std::uint64_t>(std::llround(model_->power_cap() * 1e6));
+}
+
+Result Package::set_power_limit_uw(std::uint64_t uw) {
+  const double watts = static_cast<double>(uw) / 1e6;
+  model_->set_power_cap(watts, sim_->now());  // CpuModel clamps like powercap
+  return Result::kOk;
+}
+
+void Package::constraint_range_uw(std::uint64_t* min_uw, std::uint64_t* max_uw) const {
+  if (min_uw != nullptr) {
+    *min_uw = static_cast<std::uint64_t>(std::llround(model_->spec().min_cap_w * 1e6));
+  }
+  if (max_uw != nullptr) {
+    *max_uw = static_cast<std::uint64_t>(std::llround(model_->spec().tdp_w * 1e6));
+  }
+}
+
+Session::Session(hw::Platform& platform, const sim::Simulator& sim) {
+  packages_.reserve(platform.cpu_count());
+  for (std::size_t i = 0; i < platform.cpu_count(); ++i) {
+    packages_.push_back(Package{&platform.cpu(i), &sim});
+  }
+}
+
+Package& Session::package(std::size_t i) {
+  if (i >= packages_.size()) {
+    throw std::out_of_range("rapl::Session: no such package");
+  }
+  return packages_[i];
+}
+
+std::uint64_t Session::total_energy_uj() const {
+  std::uint64_t total = 0;
+  for (const Package& p : packages_) {
+    total += p.energy_uj();
+  }
+  return total;
+}
+
+}  // namespace greencap::rapl

@@ -1,0 +1,68 @@
+// RAPL/PAPI-shaped CPU energy & capping facade over simulated packages.
+//
+// The paper measures CPU energy through PAPI's rapl component (package
+// domain counters in microjoules) and applies package power limits through
+// the RAPL MSRs / powercap sysfs (microwatt units). This facade mirrors
+// those units and the begin/end counter-subtraction methodology over
+// hw::CpuModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "sim/simulator.hpp"
+
+namespace greencap::rapl {
+
+enum class Result : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNoSuchPackage = 2,
+  kNoPermission = 3,
+};
+
+/// Handle to one CPU package's RAPL domain.
+class Package {
+ public:
+  /// Package name, e.g. "EPYC-7513".
+  [[nodiscard]] std::string name() const;
+
+  /// PACKAGE_ENERGY counter in microjoules (PAPI rapl::PACKAGE_ENERGY).
+  [[nodiscard]] std::uint64_t energy_uj() const;
+
+  /// Current long-term (PL1-style) power limit in microwatts.
+  [[nodiscard]] std::uint64_t power_limit_uw() const;
+
+  /// Sets the package power limit (microwatts). Out-of-range values are
+  /// clamped to the package's supported range, like the powercap sysfs.
+  Result set_power_limit_uw(std::uint64_t uw);
+
+  /// Supported limit range in microwatts.
+  void constraint_range_uw(std::uint64_t* min_uw, std::uint64_t* max_uw) const;
+
+ private:
+  friend class Session;
+  Package(hw::CpuModel* model, const sim::Simulator* sim) : model_{model}, sim_{sim} {}
+  hw::CpuModel* model_;
+  const sim::Simulator* sim_;
+};
+
+/// PAPI-style measurement session bound to a platform.
+class Session {
+ public:
+  Session(hw::Platform& platform, const sim::Simulator& sim);
+
+  [[nodiscard]] std::size_t package_count() const { return packages_.size(); }
+  [[nodiscard]] Package& package(std::size_t i);
+
+  /// Sum of all package counters (microjoules) — the "all cores + LLC on
+  /// the package" total the paper reads via PAPI native events.
+  [[nodiscard]] std::uint64_t total_energy_uj() const;
+
+ private:
+  std::vector<Package> packages_;
+};
+
+}  // namespace greencap::rapl

@@ -1,0 +1,35 @@
+// Post-hoc DAG analysis: Graphviz export and critical-path extraction.
+//
+// Task submission order is a topological order of the inferred DAG (edges
+// always point from an earlier to a later submission), so both analyses
+// are single linear passes.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "rt/types.hpp"
+#include "sim/time.hpp"
+
+namespace greencap::rt {
+
+/// Writes the task graph in Graphviz DOT format. Nodes carry the task
+/// label and the worker that executed them (if the run has completed);
+/// kernel families are colour-coded.
+void write_dot(const Runtime& runtime, std::ostream& os);
+
+struct CriticalPath {
+  /// Sum of task durations along the longest path (no transfer gaps).
+  sim::SimTime length;
+  /// Task ids from source to sink.
+  std::vector<TaskId> tasks;
+  /// length / sum-of-all-durations — the inverse of average parallelism.
+  double serial_fraction = 0.0;
+};
+
+/// Longest path through the executed DAG, weighted by the recorded task
+/// durations. Only meaningful after wait_all().
+[[nodiscard]] CriticalPath critical_path(const Runtime& runtime);
+
+}  // namespace greencap::rt

@@ -1,0 +1,34 @@
+#include "rt/calibration.hpp"
+
+namespace greencap::rt {
+
+void Calibrator::calibrate(const Codelet& codelet, const std::vector<hw::KernelWork>& works,
+                           int samples_per_point) {
+  sets_.push_back(Set{&codelet, works, samples_per_point});
+  measure(codelet, works, samples_per_point);
+}
+
+void Calibrator::measure(const Codelet& codelet, const std::vector<hw::KernelWork>& works,
+                         int samples) {
+  for (std::size_t wi = 0; wi < runtime_.worker_count(); ++wi) {
+    const Worker& worker = runtime_.worker(wi);
+    if (!codelet.where.can_run_on(worker.arch())) {
+      continue;
+    }
+    for (const hw::KernelWork& work : works) {
+      const sim::SimTime t = runtime_.oracle_exec_time(codelet, work, worker);
+      for (int s = 0; s < samples; ++s) {
+        runtime_.perf_model().record(codelet.name, worker.id(), work, t);
+      }
+    }
+  }
+}
+
+void Calibrator::recalibrate_all() {
+  runtime_.perf_model().invalidate();
+  for (const Set& set : sets_) {
+    measure(*set.codelet, set.works, set.samples);
+  }
+}
+
+}  // namespace greencap::rt

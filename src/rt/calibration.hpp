@@ -1,0 +1,47 @@
+// Performance-model calibration (StarPU's calibration runs).
+//
+// StarPU populates its history models with a few timed executions of each
+// kernel on each processing unit; the paper reruns this calibration after
+// every power-cap change so that "the scheduler is implicitly informed of
+// the changes". The Calibrator reproduces that protocol: it samples the
+// device-model oracle for every registered (codelet, size) on every
+// eligible worker and records the measurements into the runtime's history
+// model. recalibrate_all() re-runs the whole campaign — call it right
+// after PowerManager applies a new configuration.
+#pragma once
+
+#include <vector>
+
+#include "hw/kernel_work.hpp"
+#include "rt/codelet.hpp"
+#include "rt/runtime.hpp"
+
+namespace greencap::rt {
+
+class Calibrator {
+ public:
+  explicit Calibrator(Runtime& runtime) : runtime_{runtime} {}
+
+  /// Registers a calibration set and measures it immediately.
+  void calibrate(const Codelet& codelet, const std::vector<hw::KernelWork>& works,
+                 int samples_per_point = 3);
+
+  /// Invalidates the history model and re-measures every registered set —
+  /// the paper's "recalibrate after each power-cap modification" step.
+  void recalibrate_all();
+
+  [[nodiscard]] std::size_t registered_sets() const { return sets_.size(); }
+
+ private:
+  void measure(const Codelet& codelet, const std::vector<hw::KernelWork>& works, int samples);
+
+  struct Set {
+    const Codelet* codelet;
+    std::vector<hw::KernelWork> works;
+    int samples;
+  };
+  Runtime& runtime_;
+  std::vector<Set> sets_;
+};
+
+}  // namespace greencap::rt

@@ -1,0 +1,75 @@
+// Implicit data-dependency inference (StarPU's sequential consistency).
+//
+// Tasks are serialized in submission order whenever their accesses to a
+// common handle conflict (anything involving a write). Readers between two
+// writers all depend on the first writer and are all predecessors of the
+// second — the classic RAW/WAR/WAW rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/data_handle.hpp"
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace greencap::rt {
+
+class DependencyTracker {
+ public:
+  /// Registers `task`'s accesses, wiring edges from earlier conflicting
+  /// tasks. `lookup` resolves TaskId -> Task& for predecessor updates.
+  /// Returns the number of unresolved predecessors (0 = immediately ready).
+  template <typename TaskLookup>
+  std::int32_t register_task(Task& task, TaskLookup&& lookup) {
+    std::int32_t pending = 0;
+    for (const TaskAccess& access : task.accesses()) {
+      DataHandle& handle = *access.handle;
+      if (access.mode == AccessMode::kRead) {
+        // RAW: depend on the last writer, if still in flight.
+        pending += add_edge_from(handle.last_writer, task, lookup);
+        handle.readers_since_write.push_back(task.id());
+      } else {
+        // WAR: depend on every reader since the last write.
+        for (TaskId reader : handle.readers_since_write) {
+          pending += add_edge_from(reader, task, lookup);
+        }
+        // WAW: and on the last writer itself (covers back-to-back writes).
+        pending += add_edge_from(handle.last_writer, task, lookup);
+        handle.readers_since_write.clear();
+        handle.last_writer = task.id();
+      }
+    }
+    return pending;
+  }
+
+  [[nodiscard]] std::uint64_t edge_count() const { return edges_; }
+
+ private:
+  template <typename TaskLookup>
+  std::int32_t add_edge_from(TaskId pred_id, Task& task, TaskLookup&& lookup) {
+    if (pred_id == kInvalidTask || pred_id == task.id()) {
+      return 0;
+    }
+    Task* pred = lookup(pred_id);
+    if (pred == nullptr || pred->state == TaskState::kDone) {
+      return 0;
+    }
+    // Duplicate edges between the same pair are harmless for correctness
+    // but would double-count unresolved_deps; dedupe against the tail of
+    // the predecessor's successor list (duplicates are always adjacent or
+    // near-adjacent because a task's accesses are processed together).
+    for (auto it = pred->successors.rbegin(); it != pred->successors.rend(); ++it) {
+      if (*it == task.id()) {
+        return 0;
+      }
+    }
+    pred->successors.push_back(task.id());
+    ++edges_;
+    return 1;
+  }
+
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace greencap::rt

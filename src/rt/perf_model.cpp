@@ -1,0 +1,60 @@
+#include "rt/perf_model.hpp"
+
+#include <cmath>
+
+namespace greencap::rt {
+
+void PerfStats::record(double seconds) {
+  ++samples;
+  const double delta = seconds - mean_s;
+  mean_s += delta / static_cast<double>(samples);
+  m2 += delta * (seconds - mean_s);
+}
+
+double PerfStats::variance() const {
+  return samples > 1 ? m2 / static_cast<double>(samples - 1) : 0.0;
+}
+
+HistoryPerfModel::HistKey HistoryPerfModel::hist_key(const std::string& codelet, WorkerId worker,
+                                                     const hw::KernelWork& work) {
+  return {codelet, worker, static_cast<std::uint8_t>(work.precision),
+          static_cast<std::int64_t>(work.work_dim)};
+}
+
+HistoryPerfModel::RegKey HistoryPerfModel::reg_key(const std::string& codelet, WorkerId worker,
+                                                   const hw::KernelWork& work) {
+  return {codelet, worker, static_cast<std::uint8_t>(work.precision)};
+}
+
+void HistoryPerfModel::record(const std::string& codelet, WorkerId worker,
+                              const hw::KernelWork& work, sim::SimTime duration) {
+  history_[hist_key(codelet, worker, work)].record(duration.sec());
+  Regression& reg = regression_[reg_key(codelet, worker, work)];
+  reg.sum_xt += work.flops * duration.sec();
+  reg.sum_xx += work.flops * work.flops;
+  ++reg.samples;
+}
+
+std::optional<sim::SimTime> HistoryPerfModel::expected(const std::string& codelet, WorkerId worker,
+                                                       const hw::KernelWork& work) const {
+  if (const auto it = history_.find(hist_key(codelet, worker, work)); it != history_.end()) {
+    return sim::SimTime::seconds(it->second.mean_s);
+  }
+  if (const auto it = regression_.find(reg_key(codelet, worker, work));
+      it != regression_.end() && it->second.samples > 0) {
+    return sim::SimTime::seconds(it->second.slope() * work.flops);
+  }
+  return std::nullopt;
+}
+
+bool HistoryPerfModel::calibrated(const std::string& codelet, WorkerId worker,
+                                  const hw::KernelWork& work) const {
+  return history_.contains(hist_key(codelet, worker, work));
+}
+
+void HistoryPerfModel::invalidate() {
+  history_.clear();
+  regression_.clear();
+}
+
+}  // namespace greencap::rt

@@ -1,0 +1,76 @@
+// Performance models (StarPU's history- and regression-based models).
+//
+// The history model keeps per-(codelet, worker, precision, size) execution
+// statistics; the regression model fits time = a * flops per
+// (codelet, worker, precision) for sizes never observed. Models are keyed
+// per *worker* rather than per architecture because power capping makes
+// identical boards perform differently — this is precisely the mechanism
+// the paper relies on: "the performance models are calibrated following
+// each modification to the power capping settings. Thus, the scheduler is
+// implicitly informed of the changes."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "hw/kernel_work.hpp"
+#include "rt/types.hpp"
+#include "sim/time.hpp"
+
+namespace greencap::rt {
+
+struct PerfStats {
+  std::uint64_t samples = 0;
+  double mean_s = 0.0;
+  double m2 = 0.0;  ///< Welford accumulator for the variance
+
+  void record(double seconds);
+  [[nodiscard]] double variance() const;
+};
+
+class HistoryPerfModel {
+ public:
+  /// Records an observed execution time.
+  void record(const std::string& codelet, WorkerId worker, const hw::KernelWork& work,
+              sim::SimTime duration);
+
+  /// Expected execution time, or nullopt when the model has no information
+  /// for this (codelet, worker, size) and no regression fallback yet.
+  [[nodiscard]] std::optional<sim::SimTime> expected(const std::string& codelet, WorkerId worker,
+                                                     const hw::KernelWork& work) const;
+
+  /// True when an exact-size history entry exists.
+  [[nodiscard]] bool calibrated(const std::string& codelet, WorkerId worker,
+                                const hw::KernelWork& work) const;
+
+  /// Forgets everything — the paper's protocol invalidates the models after
+  /// every power-cap change, then recalibrates.
+  void invalidate();
+
+  [[nodiscard]] std::size_t entry_count() const { return history_.size(); }
+
+ private:
+  // (codelet, worker, precision, size-key) -> stats
+  using HistKey = std::tuple<std::string, WorkerId, std::uint8_t, std::int64_t>;
+  // (codelet, worker, precision) -> regression accumulators
+  using RegKey = std::tuple<std::string, WorkerId, std::uint8_t>;
+  struct Regression {
+    double sum_xt = 0.0;  ///< sum(flops * time)
+    double sum_xx = 0.0;  ///< sum(flops^2)
+    std::uint64_t samples = 0;
+    [[nodiscard]] double slope() const { return sum_xx > 0 ? sum_xt / sum_xx : 0.0; }
+  };
+
+  [[nodiscard]] static HistKey hist_key(const std::string& codelet, WorkerId worker,
+                                        const hw::KernelWork& work);
+  [[nodiscard]] static RegKey reg_key(const std::string& codelet, WorkerId worker,
+                                      const hw::KernelWork& work);
+
+  std::map<HistKey, PerfStats> history_;
+  std::map<RegKey, Regression> regression_;
+};
+
+}  // namespace greencap::rt

@@ -1,0 +1,451 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace greencap::rt {
+
+Runtime::Runtime(hw::Platform& platform, sim::Simulator& sim, RuntimeOptions options)
+    : platform_{platform},
+      sim_{sim},
+      options_{std::move(options)},
+      scheduler_{make_scheduler(options_.scheduler)},
+      rng_{options_.seed} {
+  trace_.enable(options_.enable_trace);
+  build_workers();
+  scheduler_->attach(*this);
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::build_workers() {
+  WorkerId next_id = 0;
+
+  // One CUDA worker per GPU; memory node i+1 belongs to GPU i.
+  link_free_.assign(platform_.gpu_count(), sim::SimTime::zero());
+  for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+    workers_.emplace_back(next_id++, &platform_.gpu(g), &platform_.gpu_link(g),
+                          static_cast<MemoryNode>(g + 1));
+  }
+
+  // CPU workers: one per core, minus the cores dedicated to GPU drivers
+  // (assigned round-robin across packages, like StarPU binds CUDA workers
+  // near their device). Driver cores poll and contribute no dynamic power.
+  std::vector<int> free_cores;
+  free_cores.reserve(platform_.cpu_count());
+  for (std::size_t p = 0; p < platform_.cpu_count(); ++p) {
+    free_cores.push_back(platform_.cpu(p).spec().cores);
+  }
+  if (options_.dedicate_core_per_gpu && !free_cores.empty()) {
+    for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+      std::size_t pkg = g % free_cores.size();
+      if (free_cores[pkg] > 0) {
+        --free_cores[pkg];
+      }
+    }
+  }
+  for (std::size_t p = 0; p < platform_.cpu_count(); ++p) {
+    for (int c = 0; c < free_cores[p]; ++c) {
+      workers_.emplace_back(next_id++, &platform_.cpu(p));
+    }
+  }
+  if (workers_.empty()) {
+    throw std::runtime_error("Runtime: platform yields no workers");
+  }
+  if (platform_.gpu_count() + 1 >= DataHandle::kMaxNodes) {
+    // Memory nodes: host + one per GPU, so this can only trip with >31 GPUs.
+    throw std::runtime_error("Runtime: too many memory nodes");
+  }
+}
+
+DataHandle* Runtime::register_data(std::uint64_t bytes, void* host_ptr, std::string name) {
+  const HandleId id = static_cast<HandleId>(handles_.size());
+  if (name.empty()) {
+    name = "data" + std::to_string(id);
+  }
+  handles_.push_back(std::make_unique<DataHandle>(id, bytes, host_ptr, std::move(name)));
+  return handles_.back().get();
+}
+
+TaskId Runtime::submit(TaskDesc desc) {
+  if (desc.codelet == nullptr) {
+    throw std::invalid_argument("Runtime::submit: null codelet");
+  }
+  if (!desc.codelet->where.cpu && !desc.codelet->where.cuda) {
+    throw std::invalid_argument("Runtime::submit: codelet '" + desc.codelet->name +
+                                "' can run nowhere");
+  }
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  auto task = std::make_unique<Task>(id, desc.codelet, desc.work);
+  task->priority = desc.priority;
+  task->label = desc.label.empty() ? desc.codelet->name + "#" + std::to_string(id)
+                                   : std::move(desc.label);
+  task->accesses() = std::move(desc.accesses);
+  task->arg = std::move(desc.arg);
+  Task& ref = *task;
+  tasks_.push_back(std::move(task));
+
+  std::int32_t pending =
+      deps_.register_task(ref, [this](TaskId tid) { return tasks_[tid].get(); });
+
+  // Explicit (tag-style) dependencies on top of the inferred data edges.
+  for (TaskId dep : desc.explicit_deps) {
+    if (dep < 0 || dep >= id) {
+      throw std::invalid_argument("Runtime::submit: explicit dependency " +
+                                  std::to_string(dep) + " must reference an earlier task");
+    }
+    Task& pred = *tasks_[dep];
+    if (pred.state == TaskState::kDone) {
+      continue;
+    }
+    if (std::find(pred.successors.begin(), pred.successors.end(), id) ==
+        pred.successors.end()) {
+      pred.successors.push_back(id);
+      ++pending;
+    }
+  }
+
+  ref.unresolved_deps = pending;
+  if (pending == 0) {
+    make_ready(ref);
+  }
+  return id;
+}
+
+void Runtime::make_ready(Task& task) {
+  task.state = TaskState::kReady;
+  task.ready_at = sim_.now();
+  const WorkerId placed = scheduler_->push_ready(task);
+  task.state = TaskState::kQueued;
+  if (placed >= 0) {
+    if (options_.prefetch) {
+      // Stage inputs now, overlapping the transfers with whatever runs
+      // ahead of this task in the worker's queue.
+      task.data_ready_at =
+          stage_data(task, workers_[static_cast<std::size_t>(placed)]);
+    }
+    wake_worker(placed);
+  } else {
+    wake_all_idle();
+  }
+}
+
+void Runtime::wake_worker(WorkerId id) {
+  Worker& w = workers_.at(static_cast<std::size_t>(id));
+  if (!w.busy) {
+    try_start(w);
+  }
+}
+
+void Runtime::wake_all_idle() {
+  for (Worker& w : workers_) {
+    if (!w.busy) {
+      try_start(w);
+      if (!scheduler_->has_pending()) {
+        break;
+      }
+    }
+  }
+}
+
+sim::SimTime Runtime::stage_data(Task& task, Worker& worker) {
+  sim::SimTime ready = sim_.now();
+
+  auto book_link = [&](std::size_t gpu_index, std::uint64_t bytes) -> sim::SimTime {
+    const sim::SimTime start = std::max(sim_.now(), link_free_[gpu_index]);
+    const sim::SimTime duration = platform_.gpu_link(gpu_index).transfer_time(bytes);
+    const sim::SimTime done = start + duration;
+    link_free_[gpu_index] = done;
+    worker.transfer_seconds += duration.sec();
+    worker.bytes_transferred += bytes;
+    if (trace_.enabled()) {
+      trace_.add_span({sim::SpanKind::kTransfer, static_cast<std::int32_t>(1000 + gpu_index),
+                       task.id(), "xfer:" + task.label, start, done});
+    }
+    return done;
+  };
+
+  // Which GPU currently owns a handle that is not valid on the host?
+  auto owner_gpu = [&](const DataHandle& h) -> std::size_t {
+    for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+      if (h.valid_on(static_cast<MemoryNode>(g + 1))) {
+        return g;
+      }
+    }
+    throw std::runtime_error("Runtime: handle '" + h.name() + "' valid nowhere");
+  };
+
+  for (TaskAccess& access : task.accesses()) {
+    DataHandle& h = *access.handle;
+    const MemoryNode target = worker.node();
+    if (h.valid_on(target)) {
+      continue;
+    }
+    // Write-only accesses need no inbound copy: the task produces the data.
+    if (access.mode == AccessMode::kWrite) {
+      continue;
+    }
+    if (target == kHostNode) {
+      // Device-to-host from the owning GPU.
+      const std::size_t src = owner_gpu(h);
+      ready = std::max(ready, book_link(src, h.bytes()));
+      h.add_copy(kHostNode);
+    } else {
+      const std::size_t dst_gpu = static_cast<std::size_t>(target - 1);
+      if (!h.valid_on(kHostNode)) {
+        // GPU-to-GPU goes through the host: d2h on the owner's link first.
+        const std::size_t src = owner_gpu(h);
+        ready = std::max(ready, book_link(src, h.bytes()));
+        h.add_copy(kHostNode);
+      }
+      ready = std::max(ready, book_link(dst_gpu, h.bytes()));
+      h.add_copy(target);
+    }
+  }
+  return ready;
+}
+
+sim::SimTime Runtime::actual_exec_time(Task& task, const Worker& worker) {
+  sim::SimTime t = oracle_exec_time(task.codelet(), task.work(), worker);
+  if (options_.exec_noise_rel > 0.0) {
+    const double factor = std::max(0.05, 1.0 + options_.exec_noise_rel * rng_.normal());
+    t = t * factor;
+  }
+  return t;
+}
+
+sim::SimTime Runtime::oracle_exec_time(const Codelet& codelet, const hw::KernelWork& work,
+                                       const Worker& worker) const {
+  hw::KernelWork w = work;
+  w.klass = codelet.klass;
+  if (worker.arch() == WorkerArch::kCuda) {
+    return worker.gpu()->execution_time(w) +
+           sim::SimTime::micros(options_.cuda_task_overhead_us);
+  }
+  return worker.cpu()->execution_time(w) + sim::SimTime::micros(options_.cpu_task_overhead_us);
+}
+
+void Runtime::try_start(Worker& worker) {
+  assert(!worker.busy);
+  Task* task = scheduler_->pop(worker);
+  if (task == nullptr) {
+    return;
+  }
+  assert(task->state == TaskState::kQueued);
+  task->assigned_worker = worker.id();
+  worker.busy = true;
+
+  const sim::SimTime transfers_done =
+      std::max(stage_data(*task, worker), task->data_ready_at);
+  const sim::SimTime start = std::max(sim_.now(), transfers_done);
+  const sim::SimTime duration = actual_exec_time(*task, worker);
+  const sim::SimTime end = start + duration;
+  worker.busy_until = end;
+  // Keep the scheduler's optimistic estimate from drifting below reality.
+  worker.expected_free = std::max(worker.expected_free, end);
+
+  task->state = TaskState::kRunning;
+  task->start_time = start;
+  task->end_time = end;
+
+  Task* task_ptr = task;
+  Worker* worker_ptr = &worker;
+  sim_.at(start, [this, task_ptr, worker_ptr, start, end] {
+    begin_execution(*task_ptr, *worker_ptr, start, end);
+  });
+  sim_.at(end, [this, task_ptr, worker_ptr] { finish_task(*task_ptr, *worker_ptr); });
+}
+
+void Runtime::begin_execution(Task& task, Worker& worker, sim::SimTime start, sim::SimTime end) {
+  hw::KernelWork w = task.work();
+  w.klass = task.codelet().klass;
+  if (worker.arch() == WorkerArch::kCuda) {
+    worker.gpu()->begin_kernel(w, sim_.now());
+  } else {
+    worker.cpu()->core_busy(sim_.now());
+  }
+  if (options_.execute_kernels) {
+    const KernelFunc& func = task.codelet().func_for(worker.arch());
+    if (func) {
+      func(task);
+    }
+  }
+  if (trace_.enabled()) {
+    trace_.add_span({sim::SpanKind::kTask, worker.id(), task.id(), task.label, start, end});
+  }
+}
+
+void Runtime::finish_task(Task& task, Worker& worker) {
+  if (worker.arch() == WorkerArch::kCuda) {
+    worker.gpu()->end_kernel(sim_.now());
+  } else {
+    worker.cpu()->core_idle(sim_.now());
+  }
+
+  // Writes take ownership of the data on the executing node.
+  for (TaskAccess& access : task.accesses()) {
+    if (is_write(access.mode)) {
+      access.handle->writer_takes(worker.node());
+    }
+  }
+
+  // Feed the observation back into the history model (StarPU updates its
+  // models from every real execution, not only calibration runs).
+  if (options_.update_perf_model) {
+    perf_model_.record(task.codelet().name, worker.id(), task.work(),
+                       task.end_time - task.start_time);
+  }
+
+  task.state = TaskState::kDone;
+  ++tasks_completed_;
+  flops_completed_ += task.work().flops;
+  last_completion_ = sim_.now();
+  ++worker.tasks_executed;
+  worker.busy_seconds += (task.end_time - task.start_time).sec();
+  worker.flops_done += task.work().flops;
+
+  for (TaskId succ_id : task.successors) {
+    Task& succ = *tasks_[succ_id];
+    assert(succ.unresolved_deps > 0);
+    if (--succ.unresolved_deps == 0) {
+      make_ready(succ);
+    }
+  }
+
+  worker.busy = false;
+  try_start(worker);
+  // A retiring GPU task may unblock work that only a different (idle)
+  // worker can take (shared-queue policies), so poke the others too.
+  if (scheduler_->has_pending()) {
+    wake_all_idle();
+  }
+}
+
+void Runtime::wait_all() {
+  sim_.run();
+  if (tasks_completed_ != tasks_.size()) {
+    std::ostringstream oss;
+    oss << "Runtime::wait_all: deadlock — " << (tasks_.size() - tasks_completed_)
+        << " tasks stuck:";
+    int shown = 0;
+    for (const auto& t : tasks_) {
+      if (t->state != TaskState::kDone && shown < 8) {
+        oss << ' ' << t->label << "(deps=" << t->unresolved_deps << ')';
+        ++shown;
+      }
+    }
+    throw std::runtime_error(oss.str());
+  }
+}
+
+sim::SimTime Runtime::flush_to_host() {
+  sim::SimTime done = sim_.now();
+  for (const auto& handle : handles_) {
+    if (handle->valid_on(kHostNode)) {
+      continue;
+    }
+    // Find the owning GPU and book a d2h transfer on its link.
+    for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+      if (handle->valid_on(static_cast<MemoryNode>(g + 1))) {
+        const sim::SimTime start = std::max(sim_.now(), link_free_[g]);
+        const sim::SimTime finish = start + platform_.gpu_link(g).transfer_time(handle->bytes());
+        link_free_[g] = finish;
+        done = std::max(done, finish);
+        handle->add_copy(kHostNode);
+        break;
+      }
+    }
+  }
+  if (done > sim_.now()) {
+    sim_.at(done, [] {});
+    sim_.run();
+  }
+  return done;
+}
+
+sim::SimTime Runtime::estimate_exec(const Task& task, const Worker& worker) {
+  if (const auto t = perf_model_.expected(task.codelet().name, worker.id(), task.work())) {
+    return *t;
+  }
+  return oracle_exec_time(task.codelet(), task.work(), worker);
+}
+
+sim::SimTime Runtime::estimate_transfer(const Task& task, const Worker& worker) {
+  sim::SimTime total = sim::SimTime::zero();
+  for (const TaskAccess& access : task.accesses()) {
+    const DataHandle& h = *access.handle;
+    if (access.mode == AccessMode::kWrite || h.valid_on(worker.node())) {
+      continue;
+    }
+    if (worker.node() == kHostNode) {
+      // d2h from whichever GPU owns it; links are symmetric, use worker 0's
+      // sibling link via the owner lookup at staging time — estimate with
+      // the first GPU's link parameters (all links identical per platform).
+      total += platform_.gpu_link(0).transfer_time(h.bytes());
+    } else {
+      const std::size_t dst = static_cast<std::size_t>(worker.node() - 1);
+      if (!h.valid_on(kHostNode)) {
+        total += platform_.gpu_link(dst).transfer_time(h.bytes());  // d2h hop
+      }
+      total += platform_.gpu_link(dst).transfer_time(h.bytes());
+    }
+  }
+  return total;
+}
+
+double Runtime::estimate_energy(const Task& task, const Worker& worker) {
+  hw::KernelWork w = task.work();
+  w.klass = task.codelet().klass;
+  if (worker.arch() == WorkerArch::kCuda) {
+    const hw::GpuModel& gpu = *worker.gpu();
+    // Dynamic energy above the idle floor (the floor accrues regardless of
+    // placement, so only the increment should steer decisions).
+    const double power = gpu.power_during(w) - gpu.spec().idle_w;
+    return power * gpu.execution_time(w).sec();
+  }
+  const hw::CpuModel& cpu = *worker.cpu();
+  const hw::PowerCurve curve{cpu.spec().v_floor};
+  const double power = cpu.spec().core_dyn_w * curve.phi(cpu.clock_ratio());
+  return power * cpu.execution_time(w).sec();
+}
+
+double Runtime::locality_fraction(const Task& task, const Worker& worker) {
+  std::uint64_t total = 0;
+  std::uint64_t resident = 0;
+  for (const TaskAccess& access : task.accesses()) {
+    if (access.mode == AccessMode::kWrite) {
+      continue;
+    }
+    total += access.handle->bytes();
+    if (access.handle->valid_on(worker.node())) {
+      resident += access.handle->bytes();
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(resident) / static_cast<double>(total);
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s;
+  s.tasks_submitted = tasks_.size();
+  s.tasks_completed = tasks_completed_;
+  s.dependency_edges = deps_.edge_count();
+  s.makespan = last_completion_;
+  for (const Worker& w : workers_) {
+    RuntimeStats::WorkerStats ws;
+    ws.id = w.id();
+    ws.arch = w.arch();
+    ws.tasks = w.tasks_executed;
+    ws.busy_fraction =
+        s.makespan > sim::SimTime::zero() ? w.busy_seconds / s.makespan.sec() : 0.0;
+    s.per_worker.push_back(ws);
+    s.total_bytes_transferred += w.bytes_transferred;
+  }
+  return s;
+}
+
+}  // namespace greencap::rt

@@ -1,0 +1,188 @@
+// The task runtime: StarPU-like execution of a task DAG over a simulated
+// heterogeneous node.
+//
+// Applications register data handles, submit tasks (codelet + accesses +
+// priority) and wait_all(). The runtime infers dependencies from access
+// modes, hands ready tasks to the configured scheduler, stages data over
+// the PCIe/NVLink models, advances the virtual clock through the
+// discrete-event simulator and drives the device power/energy models.
+// Kernels can optionally really execute on the host (execute_kernels),
+// which is how the test suite validates numerics end-to-end.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "rt/codelet.hpp"
+#include "rt/data_handle.hpp"
+#include "rt/dependencies.hpp"
+#include "rt/perf_model.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+#include "rt/worker.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace greencap::rt {
+
+struct RuntimeOptions {
+  /// One of: eager, random, ws, dm, dmda, dmdas.
+  std::string scheduler = "dmdas";
+  /// Actually run kernel host functions (numerical validation mode).
+  bool execute_kernels = false;
+  /// Reserve one CPU core per GPU as its driver (StarPU's default).
+  bool dedicate_core_per_gpu = true;
+  /// Per-task launch overhead added to execution time.
+  double cpu_task_overhead_us = 1.0;
+  double cuda_task_overhead_us = 12.0;
+  /// Relative std-dev of multiplicative Gaussian noise on execution times
+  /// (0 = fully deterministic).
+  double exec_noise_rel = 0.0;
+  /// Feed every observed execution back into the history model (StarPU's
+  /// behaviour). Disable to freeze the models at their calibrated state —
+  /// used by the stale-model ablation.
+  bool update_perf_model = true;
+  /// Stage a task's inputs as soon as the scheduler assigns it to a worker
+  /// queue (StarPU's data prefetching), overlapping transfers with the
+  /// tasks ahead of it instead of paying them at execution start.
+  bool prefetch = false;
+  std::uint64_t seed = 42;
+  /// Record spans into trace() (off by default: sweeps run thousands of
+  /// simulations).
+  bool enable_trace = false;
+};
+
+struct TaskDesc {
+  const Codelet* codelet = nullptr;
+  std::vector<TaskAccess> accesses;
+  hw::KernelWork work;
+  std::int64_t priority = 0;
+  std::string label;
+  /// Kernel argument pack forwarded to Task::arg.
+  std::any arg;
+  /// Explicit predecessor tasks (StarPU's tag dependencies), on top of the
+  /// data dependencies inferred from access modes. Each id must reference
+  /// an earlier submission.
+  std::vector<TaskId> explicit_deps;
+};
+
+struct RuntimeStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t dependency_edges = 0;
+  sim::SimTime makespan;
+  std::uint64_t total_bytes_transferred = 0;
+  /// Per-worker: tasks executed and busy fraction of the makespan.
+  struct WorkerStats {
+    WorkerId id = -1;
+    WorkerArch arch = WorkerArch::kCpuCore;
+    std::uint64_t tasks = 0;
+    double busy_fraction = 0.0;
+  };
+  std::vector<WorkerStats> per_worker;
+};
+
+class Runtime final : public SchedulerContext {
+ public:
+  Runtime(hw::Platform& platform, sim::Simulator& sim, RuntimeOptions options = {});
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // -- data ----------------------------------------------------------------
+
+  /// Registers application data living at `host_ptr` (may be null for
+  /// timing-only simulations). Returns a handle owned by the runtime.
+  DataHandle* register_data(std::uint64_t bytes, void* host_ptr = nullptr,
+                            std::string name = {});
+
+  // -- tasks -----------------------------------------------------------------
+
+  TaskId submit(TaskDesc desc);
+
+  /// Runs the simulation until every submitted task has completed.
+  /// Throws std::runtime_error on deadlock (tasks stuck with unresolved
+  /// dependencies — indicates an inconsistent DAG).
+  void wait_all();
+
+  /// Gathers every handle back to host memory (Chameleon's end-of-routine
+  /// tile gather / StarPU's data acquire): books the required
+  /// device-to-host transfers on the links and advances the virtual clock
+  /// until they complete. Returns the completion time. Call after
+  /// wait_all().
+  sim::SimTime flush_to_host();
+
+  // -- introspection ---------------------------------------------------------
+
+  [[nodiscard]] const hw::Platform& platform() const { return platform_; }
+  [[nodiscard]] hw::Platform& platform() { return platform_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+  [[nodiscard]] HistoryPerfModel& perf_model() { return perf_model_; }
+  [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] RuntimeStats stats() const;
+  /// Useful flops retired so far (sum of completed tasks' work) — the
+  /// observable an online efficiency controller divides by joules.
+  [[nodiscard]] double flops_completed() const { return flops_completed_; }
+  [[nodiscard]] bool all_tasks_done() const { return tasks_completed_ == tasks_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] const Worker& worker(std::size_t i) const { return workers_.at(i); }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] const Task& task(TaskId id) const { return *tasks_.at(id); }
+
+  /// Ground-truth execution time (device model + launch overhead, no
+  /// noise) — the oracle the calibrator samples and the estimator's
+  /// fallback for uncalibrated entries.
+  [[nodiscard]] sim::SimTime oracle_exec_time(const Codelet& codelet, const hw::KernelWork& work,
+                                              const Worker& worker) const;
+
+  // -- SchedulerContext ------------------------------------------------------
+  [[nodiscard]] std::vector<Worker>& workers() override { return workers_; }
+  [[nodiscard]] sim::SimTime now() const override { return sim_.now(); }
+  [[nodiscard]] sim::Xoshiro256& rng() override { return rng_; }
+  [[nodiscard]] sim::SimTime estimate_exec(const Task& task, const Worker& worker) override;
+  [[nodiscard]] sim::SimTime estimate_transfer(const Task& task, const Worker& worker) override;
+  [[nodiscard]] double locality_fraction(const Task& task, const Worker& worker) override;
+  [[nodiscard]] double estimate_energy(const Task& task, const Worker& worker) override;
+
+ private:
+  void build_workers();
+  void make_ready(Task& task);
+  void wake_worker(WorkerId id);
+  void wake_all_idle();
+  void try_start(Worker& worker);
+  /// Books the transfers needed by `task` on `worker`, returning the
+  /// virtual time at which all inputs are resident.
+  sim::SimTime stage_data(Task& task, Worker& worker);
+  void begin_execution(Task& task, Worker& worker, sim::SimTime start, sim::SimTime end);
+  void finish_task(Task& task, Worker& worker);
+  [[nodiscard]] sim::SimTime actual_exec_time(Task& task, const Worker& worker);
+
+  hw::Platform& platform_;
+  sim::Simulator& sim_;
+  RuntimeOptions options_;
+  std::unique_ptr<Scheduler> scheduler_;
+  HistoryPerfModel perf_model_;
+  sim::Xoshiro256 rng_;
+  sim::Trace trace_;
+
+  std::vector<Worker> workers_;
+  std::vector<std::unique_ptr<DataHandle>> handles_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  DependencyTracker deps_;
+  /// Per-GPU link availability (index = GPU index).
+  std::vector<sim::SimTime> link_free_;
+  std::uint64_t tasks_completed_ = 0;
+  double flops_completed_ = 0.0;
+  sim::SimTime last_completion_;
+};
+
+}  // namespace greencap::rt

@@ -1,0 +1,18 @@
+#include "rt/worker.hpp"
+
+#include <cstdio>
+
+namespace greencap::rt {
+
+std::string Worker::describe() const {
+  char buf[128];
+  if (arch_ == WorkerArch::kCuda) {
+    std::snprintf(buf, sizeof buf, "worker%d[cuda:%s node%d]", id_, gpu_->spec().name.c_str(),
+                  node_);
+  } else {
+    std::snprintf(buf, sizeof buf, "worker%d[cpu:%s]", id_, cpu_->spec().name.c_str());
+  }
+  return buf;
+}
+
+}  // namespace greencap::rt

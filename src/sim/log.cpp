@@ -1,0 +1,34 @@
+#include "sim/log.hpp"
+
+namespace greencap::sim {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  if (level < level_) return;
+  if (sink_) {
+    sink_(level, msg);
+  } else {
+    std::fprintf(stderr, "[greencap %s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace greencap::sim

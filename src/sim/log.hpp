@@ -1,0 +1,50 @@
+// Minimal leveled logging.
+//
+// Simulation sweeps run thousands of silent experiments; logging defaults
+// to kWarn and is routed through a single sink so tests can capture it.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace greencap::sim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& msg);
+
+  template <typename... Args>
+  void logf(LogLevel level, const char* fmt, Args... args) {
+    if (level < level_) return;
+    char buf[512];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    log(level, buf);
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+#define GREENCAP_LOG(level, ...) \
+  ::greencap::sim::Logger::instance().logf((level), __VA_ARGS__)
+#define GREENCAP_DEBUG(...) GREENCAP_LOG(::greencap::sim::LogLevel::kDebug, __VA_ARGS__)
+#define GREENCAP_INFO(...) GREENCAP_LOG(::greencap::sim::LogLevel::kInfo, __VA_ARGS__)
+#define GREENCAP_WARN(...) GREENCAP_LOG(::greencap::sim::LogLevel::kWarn, __VA_ARGS__)
+#define GREENCAP_ERROR(...) GREENCAP_LOG(::greencap::sim::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace greencap::sim

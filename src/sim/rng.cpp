@@ -1,0 +1,16 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace greencap::sim {
+
+double Xoshiro256::normal() {
+  // Box-Muller. uniform() can return exactly 0, which log() rejects, so the
+  // first variate is shifted into (0, 1].
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace greencap::sim

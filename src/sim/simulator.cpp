@@ -1,0 +1,47 @@
+#include "sim/simulator.hpp"
+
+namespace greencap::sim {
+
+EventId Simulator::at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw TimeTravelError("Simulator::at: scheduling at " + when.to_string() +
+                          " before now=" + now_.to_string());
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+EventId Simulator::after(SimTime delay, Callback cb) {
+  if (delay < SimTime::zero()) {
+    throw TimeTravelError("Simulator::after: negative delay " + delay.to_string());
+  }
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto [when, cb] = queue_.pop();
+  now_ = when;
+  ++executed_;
+  cb();
+  return true;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline && !queue_.empty()) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace greencap::sim

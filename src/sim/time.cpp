@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace greencap::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (!is_finite()) {
+    return "+inf";
+  }
+  if (value_ < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f us", value_ * 1e6);
+  } else if (value_ < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", value_ * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6f s", value_);
+  }
+  return buf;
+}
+
+}  // namespace greencap::sim

@@ -1,0 +1,66 @@
+// Virtual-time primitives for the discrete-event simulator.
+//
+// All simulated activity (kernel execution, data transfers, power-state
+// changes) advances a virtual clock measured in seconds. We use a strong
+// type rather than a bare double so that virtual durations cannot be
+// accidentally mixed with wall-clock quantities or unit-less scalars.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace greencap::sim {
+
+/// A point or span on the virtual time axis, in seconds.
+///
+/// SimTime is totally ordered and supports the affine operations needed by
+/// the event queue (addition of spans, subtraction yielding spans). It is
+/// deliberately *not* implicitly convertible from double: construction goes
+/// through seconds()/millis()/micros() so call sites state their unit.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime seconds(double s) { return SimTime{s}; }
+  [[nodiscard]] static constexpr SimTime millis(double ms) { return SimTime{ms * 1e-3}; }
+  [[nodiscard]] static constexpr SimTime micros(double us) { return SimTime{us * 1e-6}; }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0.0}; }
+  [[nodiscard]] static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return value_; }
+  [[nodiscard]] constexpr double ms() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double us() const { return value_ * 1e6; }
+
+  [[nodiscard]] constexpr bool is_finite() const { return std::isfinite(value_); }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    value_ -= rhs.value_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.value_ + b.value_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.value_ - b.value_}; }
+  friend constexpr SimTime operator*(SimTime a, double k) { return SimTime{a.value_ * k}; }
+  friend constexpr SimTime operator*(double k, SimTime a) { return SimTime{a.value_ * k}; }
+  friend constexpr SimTime operator/(SimTime a, double k) { return SimTime{a.value_ / k}; }
+  friend constexpr double operator/(SimTime a, SimTime b) { return a.value_ / b.value_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(double v) : value_{v} {}
+  double value_ = 0.0;
+};
+
+}  // namespace greencap::sim

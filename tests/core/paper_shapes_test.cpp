@@ -1,0 +1,228 @@
+// Paper-shape regression tests: the qualitative findings of the paper's
+// section V must hold in the reproduction — who wins, by roughly what
+// factor, and where the crossovers fall.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hpp"
+#include "core/paper_params.hpp"
+
+namespace greencap::core {
+namespace {
+
+ExperimentConfig config_for(const paper::TableIIRow& row, const std::string& gpu_cfg) {
+  ExperimentConfig cfg;
+  cfg.platform = row.platform;
+  cfg.op = row.op;
+  cfg.precision = row.precision;
+  cfg.n = row.n;
+  cfg.nb = row.nb;
+  cfg.gpu_config = power::GpuConfig::parse(gpu_cfg);
+  return cfg;
+}
+
+const ExperimentResult& cached_run(const ExperimentConfig& cfg) {
+  static std::map<std::string, ExperimentResult> cache;
+  const std::string key = cfg.describe();
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, run_experiment(cfg)).first;
+  }
+  return it->second;
+}
+
+// -- the flagship platform: 32-AMD-4-A100, double precision -------------------
+
+TEST(PaperShapes, BbbbImprovesEfficiencyOnFourGpuNode) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HHHH"));
+  const auto& bbbb = cached_run(config_for(row, "BBBB"));
+  // Paper: +24.3 % efficiency at -26.41 % performance (GEMM double).
+  EXPECT_GT(bbbb.efficiency_gain_pct(base), 12.0);
+  EXPECT_LT(bbbb.efficiency_gain_pct(base), 40.0);
+  EXPECT_LT(bbbb.perf_delta_pct(base), -10.0);
+  EXPECT_GT(bbbb.perf_delta_pct(base), -35.0);
+  EXPECT_GT(bbbb.energy_saving_pct(base), 8.0);
+}
+
+TEST(PaperShapes, LowCapsHurtBothMetrics) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HHHH"));
+  const auto& llll = cached_run(config_for(row, "LLLL"));
+  // Paper: ~-80 % performance AND ~+60 % energy (negative saving).
+  EXPECT_LT(llll.perf_delta_pct(base), -60.0);
+  EXPECT_LT(llll.energy_saving_pct(base), 0.0);
+  EXPECT_LT(llll.efficiency_gflops_per_w, base.efficiency_gflops_per_w);
+}
+
+TEST(PaperShapes, LLadderNeverBeatsDefaultEfficiency) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HHHH"));
+  for (const char* cfg : {"LLLL", "HLLL", "HHLL", "HHHL"}) {
+    const auto& r = cached_run(config_for(row, cfg));
+    EXPECT_LT(r.efficiency_gflops_per_w, base.efficiency_gflops_per_w) << cfg;
+  }
+}
+
+TEST(PaperShapes, LLadderEfficiencyRecoversTowardDefault) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  double prev = 0.0;
+  for (const char* cfg : {"LLLL", "HLLL", "HHLL", "HHHL"}) {
+    const auto& r = cached_run(config_for(row, cfg));
+    EXPECT_GT(r.efficiency_gflops_per_w, prev) << cfg;
+    prev = r.efficiency_gflops_per_w;
+  }
+}
+
+TEST(PaperShapes, SubsetCappingIsATradeoff) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HHHH"));
+  const auto& bbbb = cached_run(config_for(row, "BBBB"));
+  const auto& hhbb = cached_run(config_for(row, "HHBB"));
+  // Paper: HHBB sits between HHHH and BBBB on both axes (~+10 % eff,
+  // ~-15 % perf).
+  EXPECT_GT(hhbb.efficiency_gflops_per_w, base.efficiency_gflops_per_w);
+  EXPECT_LT(hhbb.efficiency_gflops_per_w, bbbb.efficiency_gflops_per_w);
+  EXPECT_LT(hhbb.gflops, base.gflops);
+  EXPECT_GT(hhbb.gflops, bbbb.gflops);
+}
+
+TEST(PaperShapes, SingleBCapSavesEnergyWithMildSlowdown) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HHHH"));
+  const auto& hhhb = cached_run(config_for(row, "HHHB"));
+  // Paper: HHHB saves ~4 % energy, efficiency 40 -> 42 Gflop/s/W (~5 %).
+  EXPECT_GT(hhhb.energy_saving_pct(base), 1.0);
+  EXPECT_GT(hhhb.efficiency_gain_pct(base), 1.0);
+  EXPECT_GT(hhhb.perf_delta_pct(base), -12.0);
+}
+
+TEST(PaperShapes, BbbbIsTheEfficiencyMaximumOfTheLadder) {
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& bbbb = cached_run(config_for(row, "BBBB"));
+  for (const auto& cfg : power::standard_ladder(4)) {
+    const auto& r = cached_run(config_for(row, cfg.to_string()));
+    EXPECT_LE(r.efficiency_gflops_per_w, bbbb.efficiency_gflops_per_w + 1e-9)
+        << cfg.to_string();
+  }
+}
+
+TEST(PaperShapes, PotrfShowsSameOrderingAsGemm) {
+  const auto row =
+      paper::table_ii_row("32-AMD-4-A100", Operation::kPotrf, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HHHH"));
+  const auto& bbbb = cached_run(config_for(row, "BBBB"));
+  const auto& llll = cached_run(config_for(row, "LLLL"));
+  EXPECT_GT(bbbb.efficiency_gflops_per_w, base.efficiency_gflops_per_w);
+  EXPECT_LT(llll.efficiency_gflops_per_w, base.efficiency_gflops_per_w);
+}
+
+// -- permutation equivalence (paper section IV-C) ------------------------------
+
+TEST(PaperShapes, CapPositionPermutationsAreEquivalent) {
+  // "the configuration HHHB was evaluated, as were the combinations HHBH,
+  // HBHH and BHHH. We found that the variation in results was negligible."
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& reference = cached_run(config_for(row, "HHHB"));
+  for (const char* perm : {"HHBH", "HBHH", "BHHH"}) {
+    const auto& r = cached_run(config_for(row, perm));
+    EXPECT_NEAR(r.gflops, reference.gflops, reference.gflops * 0.02) << perm;
+    EXPECT_NEAR(r.total_energy_j, reference.total_energy_j,
+                reference.total_energy_j * 0.02)
+        << perm;
+  }
+}
+
+// -- energy-aware scheduling extension ------------------------------------------
+
+TEST(PaperShapes, DmdaeTradesTimeForEnergyWithoutCapping) {
+  // The future-work scheduler: on the uncapped node, choosing lower-energy
+  // workers within a completion-time slack must not cost more than the
+  // slack in performance, and must not increase energy.
+  const auto row = paper::table_ii_row("32-AMD-4-A100", Operation::kPotrf, hw::Precision::kDouble);
+  ExperimentConfig cfg = config_for(row, "HHHH");
+  const auto& dmdas = cached_run(cfg);
+  cfg.scheduler = "dmdae";
+  const auto& dmdae = cached_run(cfg);
+  EXPECT_GT(dmdae.perf_delta_pct(dmdas), -35.0);
+  EXPECT_GE(dmdae.energy_saving_pct(dmdas), -2.0);
+}
+
+// -- single precision: stronger gains (paper section V-B) ----------------------
+
+TEST(PaperShapes, SinglePrecisionGainsExceedDouble) {
+  const auto rd = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto rs = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kSingle);
+  const double gain_d = cached_run(config_for(rd, "BBBB"))
+                            .efficiency_gain_pct(cached_run(config_for(rd, "HHHH")));
+  const double gain_s = cached_run(config_for(rs, "BBBB"))
+                            .efficiency_gain_pct(cached_run(config_for(rs, "HHHH")));
+  // Paper: +33.78 % single vs +24.3 % double.
+  EXPECT_GT(gain_s, gain_d);
+}
+
+// -- task redistribution (paper section V-C / Fig. 5) --------------------------
+
+TEST(PaperShapes, SchedulerShiftsTasksTowardCpusUnderCapping) {
+  const auto row =
+      paper::table_ii_row("24-Intel-2-V100", Operation::kGemm, hw::Precision::kDouble);
+  const auto& base = cached_run(config_for(row, "HH"));
+  const auto& capped = cached_run(config_for(row, "LL"));
+  EXPECT_GT(capped.cpu_tasks, base.cpu_tasks);
+}
+
+TEST(PaperShapes, PotrfPanelsRunOnCpus) {
+  const auto row =
+      paper::table_ii_row("32-AMD-4-A100", Operation::kPotrf, hw::Precision::kDouble);
+  const auto& r = cached_run(config_for(row, "HHHH"));
+  EXPECT_GT(r.cpu_tasks, 0u);
+  // GEMM-heavy bulk stays on GPUs.
+  EXPECT_GT(r.gpu_tasks, 5u * r.cpu_tasks);
+}
+
+// -- CPU power capping (paper section V-C / Fig. 6) ----------------------------
+
+TEST(PaperShapes, CpuCapImprovesEfficiencyOnV100Platform) {
+  for (Operation op : {Operation::kGemm, Operation::kPotrf}) {
+    for (hw::Precision prec : {hw::Precision::kSingle, hw::Precision::kDouble}) {
+      const auto row = paper::table_ii_row("24-Intel-2-V100", op, prec);
+      ExperimentConfig cfg = config_for(row, "BB");
+      const auto& uncapped = cached_run(cfg);
+      cfg.cpu_cap = CpuCap{paper::kCpuCapPackage, paper::kCpuCapFraction};
+      const auto& capped = cached_run(cfg);
+      EXPECT_GT(capped.efficiency_gain_pct(uncapped), 0.0)
+          << to_string(op) << " " << hw::to_string(prec);
+      // "with no performance loss" — a few percent at most.
+      EXPECT_GT(capped.perf_delta_pct(uncapped), -5.0);
+    }
+  }
+}
+
+// -- the 2xA100 platform is the muted case (paper section V-A) ------------------
+
+TEST(PaperShapes, TwoGpuA100PlatformShowsLittleBenefit) {
+  const auto amd = paper::table_ii_row("64-AMD-2-A100", Operation::kGemm, hw::Precision::kDouble);
+  const auto sxm = paper::table_ii_row("32-AMD-4-A100", Operation::kGemm, hw::Precision::kDouble);
+  const double gain_amd = cached_run(config_for(amd, "BB"))
+                              .efficiency_gain_pct(cached_run(config_for(amd, "HH")));
+  const double gain_sxm = cached_run(config_for(sxm, "BBBB"))
+                              .efficiency_gain_pct(cached_run(config_for(sxm, "HHHH")));
+  // Paper: the default config wins (-5 %) on 64-AMD-2-A100 while the 4-GPU
+  // node gains +24 %; at minimum the gap must be large and the A100-PCIe
+  // gain small.
+  EXPECT_LT(gain_amd, 10.0);
+  EXPECT_GT(gain_sxm - gain_amd, 8.0);
+}
+
+TEST(PaperShapes, A100PcieSingleLAndBCoincide) {
+  // Paper: "LL and BB are at the same level of power — 60 % = 150 W".
+  const auto row = paper::table_ii_row("64-AMD-2-A100", Operation::kGemm, hw::Precision::kSingle);
+  const auto& ll = cached_run(config_for(row, "LL"));
+  const auto& bb = cached_run(config_for(row, "BB"));
+  EXPECT_NEAR(ll.gflops, bb.gflops, bb.gflops * 0.02);
+  EXPECT_NEAR(ll.total_energy_j, bb.total_energy_j, bb.total_energy_j * 0.02);
+}
+
+}  // namespace
+}  // namespace greencap::core

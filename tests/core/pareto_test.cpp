@@ -1,0 +1,68 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greencap::core {
+namespace {
+
+ExperimentResult result_of(const std::string& config, double gflops, double joules) {
+  ExperimentResult r;
+  r.config.gpu_config = power::GpuConfig::parse(config);
+  r.gflops = gflops;
+  r.total_energy_j = joules;
+  return r;
+}
+
+TEST(Pareto, DominanceDefinition) {
+  const ExperimentResult fast_cheap = result_of("HH", 100.0, 50.0);
+  const ExperimentResult slow_dear = result_of("LL", 50.0, 100.0);
+  EXPECT_TRUE(dominates(fast_cheap, slow_dear));
+  EXPECT_FALSE(dominates(slow_dear, fast_cheap));
+}
+
+TEST(Pareto, EqualResultsDoNotDominateEachOther) {
+  const ExperimentResult a = result_of("HH", 100.0, 50.0);
+  const ExperimentResult b = result_of("HB", 100.0, 50.0);
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Pareto, PartialOrderIncomparable) {
+  const ExperimentResult fast_dear = result_of("HH", 100.0, 100.0);
+  const ExperimentResult slow_cheap = result_of("BB", 50.0, 40.0);
+  EXPECT_FALSE(dominates(fast_dear, slow_cheap));
+  EXPECT_FALSE(dominates(slow_cheap, fast_dear));
+}
+
+TEST(Pareto, FrontKeepsTradeoffCurve) {
+  std::vector<ExperimentResult> results;
+  results.push_back(result_of("HHHH", 100.0, 100.0));  // fastest
+  results.push_back(result_of("HHHB", 95.0, 92.0));    // trade-off
+  results.push_back(result_of("BBBB", 80.0, 80.0));    // frugal
+  results.push_back(result_of("LLLL", 20.0, 160.0));   // dominated by everything
+  results.push_back(result_of("HHLL", 60.0, 95.0));    // dominated by HHHB
+  const auto front = pareto_front(results);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0]->config.gpu_config.to_string(), "HHHH");
+  EXPECT_EQ(front[1]->config.gpu_config.to_string(), "HHHB");
+  EXPECT_EQ(front[2]->config.gpu_config.to_string(), "BBBB");
+}
+
+TEST(Pareto, SortedByDescendingPerformance) {
+  std::vector<ExperimentResult> results;
+  results.push_back(result_of("BBBB", 80.0, 80.0));
+  results.push_back(result_of("HHHH", 100.0, 100.0));
+  const auto front = pareto_front(results);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_GT(front[0]->gflops, front[1]->gflops);
+}
+
+TEST(Pareto, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  std::vector<ExperimentResult> one;
+  one.push_back(result_of("H", 10.0, 10.0));
+  EXPECT_EQ(pareto_front(one).size(), 1u);
+}
+
+}  // namespace
+}  // namespace greencap::core

@@ -1,0 +1,72 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace greencap::core {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t{{"config", "perf"}};
+  t.add_row({"HHHH", "100.0"});
+  t.add_row({"BBBB", "79.5"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("config"), std::string::npos);
+  EXPECT_NE(out.find("HHHH"), std::string::npos);
+  EXPECT_NE(out.find("BBBB"), std::string::npos);
+  // Separator lines around the header.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t{{"a", "b", "c"}};
+  t.add_row({"only"});
+  std::ostringstream oss;
+  EXPECT_NO_THROW(t.print(oss));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t{{"name", "value"}};
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  const std::string csv = oss.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderRow) {
+  Table t{{"x", "y"}};
+  t.add_row({"1", "2"});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  EXPECT_EQ(oss.str().substr(0, 4), "x,y\n");
+}
+
+TEST(Fmt, FormatsDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+TEST(Fmt, PercentCarriesSign) {
+  EXPECT_EQ(fmt_pct(12.345), "+12.35 %");
+  EXPECT_EQ(fmt_pct(-3.2, 1), "-3.2 %");
+}
+
+TEST(Fmt, SignedValues) {
+  EXPECT_EQ(fmt_signed(1.5), "+1.50");
+  EXPECT_EQ(fmt_signed(-1.5), "-1.50");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream oss;
+  print_banner(oss, "Table I");
+  EXPECT_NE(oss.str().find("= Table I ="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greencap::core

@@ -1,0 +1,121 @@
+#include "hw/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "la/flops.hpp"
+
+namespace greencap::hw {
+namespace {
+
+using sim::SimTime;
+
+KernelWork tile_gemm(Precision p, double nb = 2880) {
+  return KernelWork{KernelClass::kGemm, p, la::flops::gemm(nb), nb};
+}
+
+TEST(CpuModel, ConstructorValidatesSpec) {
+  CpuArchSpec bad = presets::xeon_gold_6126();
+  bad.cores = 0;
+  EXPECT_THROW(CpuModel(bad, 0), std::invalid_argument);
+  bad = presets::xeon_gold_6126();
+  bad.uncore_w = 100.0;  // above min cap
+  EXPECT_THROW(CpuModel(bad, 0), std::invalid_argument);
+}
+
+TEST(CpuModel, FullSpeedAtTdp) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  EXPECT_NEAR(cpu.clock_ratio(), 1.0, 1e-9);
+}
+
+TEST(CpuModel, CapThrottlesCores) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  cpu.set_power_cap(60.0, SimTime::zero());  // the paper's 48 % of 125 W
+  const double r = cpu.clock_ratio();
+  EXPECT_LT(r, 0.8);
+  EXPECT_GT(r, 0.3);
+}
+
+TEST(CpuModel, CapSlowsExecution) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  const double t_full = cpu.execution_time(tile_gemm(Precision::kDouble)).sec();
+  cpu.set_power_cap(60.0, SimTime::zero());
+  const double t_capped = cpu.execution_time(tile_gemm(Precision::kDouble)).sec();
+  EXPECT_GT(t_capped, t_full * 1.2);
+}
+
+TEST(CpuModel, SetCapClamps) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  EXPECT_DOUBLE_EQ(cpu.set_power_cap(10.0, SimTime::zero()), 60.0);
+  EXPECT_DOUBLE_EQ(cpu.set_power_cap(500.0, SimTime::zero()), 125.0);
+}
+
+TEST(CpuModel, SinglePrecisionFaster) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  EXPECT_LT(cpu.execution_time(tile_gemm(Precision::kSingle)).sec(),
+            cpu.execution_time(tile_gemm(Precision::kDouble)).sec());
+}
+
+TEST(CpuModel, KernelFactorsOrderRates) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  KernelWork gemm = tile_gemm(Precision::kDouble);
+  KernelWork potrf = gemm;
+  potrf.klass = KernelClass::kPotrf;
+  EXPECT_GT(cpu.rate_gflops(gemm), cpu.rate_gflops(potrf));
+}
+
+TEST(CpuModel, PackagePowerTracksActiveCores) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  const double idle = cpu.current_power_w();
+  EXPECT_DOUBLE_EQ(idle, cpu.spec().uncore_w);
+  cpu.core_busy(SimTime::zero());
+  const double one = cpu.current_power_w();
+  cpu.core_busy(SimTime::zero());
+  const double two = cpu.current_power_w();
+  EXPECT_GT(one, idle);
+  EXPECT_NEAR(two - one, one - idle, 1e-9);
+  cpu.core_idle(SimTime::zero());
+  cpu.core_idle(SimTime::zero());
+  EXPECT_DOUBLE_EQ(cpu.current_power_w(), idle);
+}
+
+TEST(CpuModel, PackagePowerNeverExceedsCap) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  cpu.set_power_cap(70.0, SimTime::zero());
+  for (int c = 0; c < cpu.spec().cores; ++c) {
+    cpu.core_busy(SimTime::zero());
+    EXPECT_LE(cpu.current_power_w(), 70.0 + 1e-9);
+  }
+}
+
+TEST(CpuModel, FullLoadApproachesTdp) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  for (int c = 0; c < cpu.spec().cores; ++c) {
+    cpu.core_busy(SimTime::zero());
+  }
+  EXPECT_NEAR(cpu.current_power_w(), cpu.spec().tdp_w, 1.0);
+}
+
+TEST(CpuModel, EnergyIntegration) {
+  CpuModel cpu{presets::xeon_gold_6126(), 0};
+  cpu.core_busy(SimTime::zero());
+  const double p1 = cpu.current_power_w();
+  cpu.core_idle(SimTime::seconds(2.0));
+  cpu.advance(SimTime::seconds(3.0));
+  EXPECT_NEAR(cpu.energy_joules(), p1 * 2.0 + cpu.spec().uncore_w * 1.0, 1e-6);
+}
+
+TEST(CpuModel, MuchSlowerThanGpuPerWorker) {
+  // Paper section III-C: GEMM is ~20x faster on a GPU than on a whole CPU
+  // socket, so a single-core worker is slower still.
+  CpuModel cpu{presets::epyc_7513(), 0};
+  GpuModel gpu{presets::a100_sxm4(), 0};
+  const KernelWork work = tile_gemm(Precision::kDouble, 5760);
+  const double socket_rate = cpu.rate_gflops(work) * cpu.spec().cores;
+  const double gpu_rate = gpu.rate_gflops(work);
+  EXPECT_GT(gpu_rate, 10.0 * socket_rate);
+  EXPECT_LT(gpu_rate, 40.0 * socket_rate);
+}
+
+}  // namespace
+}  // namespace greencap::hw

@@ -1,0 +1,57 @@
+#include "hw/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greencap::hw {
+namespace {
+
+using sim::SimTime;
+
+TEST(EnergyMeter, StartsAtZero) {
+  EnergyMeter meter;
+  EXPECT_DOUBLE_EQ(meter.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.power_w(), 0.0);
+}
+
+TEST(EnergyMeter, IntegratesConstantPower) {
+  EnergyMeter meter;
+  meter.set_power(100.0, SimTime::zero());
+  meter.advance(SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(meter.joules(), 1000.0);
+}
+
+TEST(EnergyMeter, IntegratesPiecewisePower) {
+  EnergyMeter meter;
+  meter.set_power(50.0, SimTime::zero());
+  meter.set_power(200.0, SimTime::seconds(2.0));   // 100 J so far
+  meter.set_power(0.0, SimTime::seconds(3.0));     // + 200 J
+  meter.advance(SimTime::seconds(100.0));          // + 0
+  EXPECT_DOUBLE_EQ(meter.joules(), 300.0);
+}
+
+TEST(EnergyMeter, AdvanceIsIdempotentAtSameTime) {
+  EnergyMeter meter;
+  meter.set_power(10.0, SimTime::zero());
+  meter.advance(SimTime::seconds(1.0));
+  meter.advance(SimTime::seconds(1.0));
+  EXPECT_DOUBLE_EQ(meter.joules(), 10.0);
+}
+
+TEST(EnergyMeter, ResetKeepsPowerLevel) {
+  EnergyMeter meter;
+  meter.set_power(10.0, SimTime::zero());
+  meter.reset_energy(SimTime::seconds(5.0));
+  EXPECT_DOUBLE_EQ(meter.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.power_w(), 10.0);
+  meter.advance(SimTime::seconds(6.0));
+  EXPECT_DOUBLE_EQ(meter.joules(), 10.0);
+}
+
+TEST(EnergyMeter, TracksLastUpdate) {
+  EnergyMeter meter;
+  meter.advance(SimTime::seconds(3.0));
+  EXPECT_EQ(meter.last_update(), SimTime::seconds(3.0));
+}
+
+}  // namespace
+}  // namespace greencap::hw

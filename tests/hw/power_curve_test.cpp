@@ -1,0 +1,84 @@
+#include "hw/power_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace greencap::hw {
+namespace {
+
+TEST(PowerCurve, RejectsBadArguments) {
+  EXPECT_THROW(PowerCurve(0.0), std::invalid_argument);
+  EXPECT_THROW(PowerCurve(1.5), std::invalid_argument);
+  EXPECT_THROW(PowerCurve(0.8, 0.0), std::invalid_argument);
+  EXPECT_THROW(PowerCurve(0.8, 1.1), std::invalid_argument);
+}
+
+TEST(PowerCurve, NormalizedAtFullClock) {
+  const PowerCurve curve{0.8};
+  EXPECT_DOUBLE_EQ(curve.phi(1.0), 1.0);
+}
+
+TEST(PowerCurve, CubicAboveFloor) {
+  const PowerCurve curve{0.5};
+  // v(r) = r above the floor: phi = r^3.
+  EXPECT_NEAR(curve.phi(0.9), 0.9 * 0.9 * 0.9, 1e-12);
+  EXPECT_NEAR(curve.phi(0.6), 0.6 * 0.6 * 0.6, 1e-12);
+}
+
+TEST(PowerCurve, LinearBelowFloor) {
+  const PowerCurve curve{0.5};
+  // v(r) = v_floor below: phi = r * v_floor^2.
+  EXPECT_NEAR(curve.phi(0.4), 0.4 * 0.25, 1e-12);
+  EXPECT_NEAR(curve.phi(0.2), 0.2 * 0.25, 1e-12);
+}
+
+TEST(PowerCurve, ContinuousAtFloor) {
+  const PowerCurve curve{0.73};
+  const double below = curve.phi(0.73 - 1e-9);
+  const double above = curve.phi(0.73 + 1e-9);
+  EXPECT_NEAR(below, above, 1e-6);
+}
+
+TEST(PowerCurve, PhiIsMonotone) {
+  const PowerCurve curve{0.8, 0.05};
+  double prev = -1.0;
+  for (double r = 0.05; r <= 1.0; r += 0.01) {
+    const double phi = curve.phi(r);
+    EXPECT_GT(phi, prev);
+    prev = phi;
+  }
+}
+
+TEST(PowerCurve, InverseRoundTrips) {
+  const PowerCurve curve{0.75, 0.05};
+  for (double r = 0.06; r <= 1.0; r += 0.017) {
+    const double phi = curve.phi(r);
+    EXPECT_NEAR(curve.clock_for_phi(phi), r, 1e-9) << "at r=" << r;
+  }
+}
+
+TEST(PowerCurve, InverseClampsHigh) {
+  const PowerCurve curve{0.8};
+  EXPECT_DOUBLE_EQ(curve.clock_for_phi(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.clock_for_phi(7.0), 1.0);
+}
+
+TEST(PowerCurve, InverseClampsLow) {
+  const PowerCurve curve{0.8, 0.2};
+  EXPECT_DOUBLE_EQ(curve.clock_for_phi(0.0), 0.2);
+}
+
+TEST(PowerCurve, PhiClampsInputToValidRange) {
+  const PowerCurve curve{0.8, 0.1};
+  EXPECT_DOUBLE_EQ(curve.phi(2.0), curve.phi(1.0));
+  EXPECT_DOUBLE_EQ(curve.phi(0.01), curve.phi(0.1));
+}
+
+TEST(PowerCurve, FloorPhiMatches) {
+  const PowerCurve curve{0.8};
+  EXPECT_NEAR(curve.phi_at_floor(), 0.8 * 0.8 * 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace greencap::hw

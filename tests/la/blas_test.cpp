@@ -1,0 +1,257 @@
+#include "la/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace greencap::la {
+namespace {
+
+template <typename T>
+std::vector<T> random_matrix(int rows, int cols, sim::Xoshiro256& rng) {
+  std::vector<T> m(static_cast<std::size_t>(rows) * cols);
+  for (T& v : m) {
+    v = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+template <typename T>
+using BlasTypes = ::testing::Types<float, double>;
+
+template <typename T>
+class BlasTest : public ::testing::Test {};
+
+using Scalars = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(BlasTest, Scalars);
+
+TYPED_TEST(BlasTest, GemmMatchesManualTriple) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{42};
+  const int n = 17;
+  auto a = random_matrix<T>(n, n, rng);
+  auto b = random_matrix<T>(n, n, rng);
+  auto c = random_matrix<T>(n, n, rng);
+  auto expected = c;
+  // Manual triple loop.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      T acc = 0;
+      for (int k = 0; k < n; ++k) {
+        acc += a[i + k * n] * b[k + j * n];
+      }
+      expected[i + j * n] = T{2} * acc + T{3} * expected[i + j * n];
+    }
+  }
+  gemm<T>(n, n, n, T{2}, a.data(), n, b.data(), n, false, T{3}, c.data(), n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-4) << i;
+  }
+}
+
+TYPED_TEST(BlasTest, GemmTransB) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{43};
+  const int n = 9;
+  auto a = random_matrix<T>(n, n, rng);
+  auto b = random_matrix<T>(n, n, rng);
+  std::vector<T> c1(n * n, T{0});
+  std::vector<T> c2(n * n, T{0});
+  // Explicitly transpose b, then NN gemm must equal NT gemm on the original.
+  std::vector<T> bt(n * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      bt[i + j * n] = b[j + i * n];
+    }
+  }
+  gemm<T>(n, n, n, T{1}, a.data(), n, bt.data(), n, false, T{0}, c1.data(), n);
+  gemm<T>(n, n, n, T{1}, a.data(), n, b.data(), n, true, T{0}, c2.data(), n);
+  for (int i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-5);
+  }
+}
+
+TYPED_TEST(BlasTest, GemmTransA) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{47};
+  const int n = 9;
+  auto a = random_matrix<T>(n, n, rng);
+  auto b = random_matrix<T>(n, n, rng);
+  std::vector<T> c1(n * n, T{0});
+  std::vector<T> c2(n * n, T{0});
+  std::vector<T> at(n * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      at[i + j * n] = a[j + i * n];
+    }
+  }
+  gemm<T>(n, n, n, T{1}, at.data(), n, b.data(), n, false, T{0}, c1.data(), n);
+  gemm<T>(n, n, n, T{1}, a.data(), n, /*trans_a=*/true, b.data(), n, /*trans_b=*/false, T{0},
+          c2.data(), n);
+  for (int i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-5);
+  }
+}
+
+TYPED_TEST(BlasTest, GemmBothTransposed) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{53};
+  const int n = 7;
+  auto a = random_matrix<T>(n, n, rng);
+  auto b = random_matrix<T>(n, n, rng);
+  // (A^T B^T)[i,j] = sum_k A[k,i] B[j,k].
+  std::vector<T> want(n * n, T{0});
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      T acc{};
+      for (int k = 0; k < n; ++k) {
+        acc += a[k + i * n] * b[j + k * n];
+      }
+      want[i + j * n] = acc;
+    }
+  }
+  std::vector<T> c(n * n, T{0});
+  gemm<T>(n, n, n, T{1}, a.data(), n, true, b.data(), n, true, T{0}, c.data(), n);
+  for (int i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(c[i], want[i], 1e-5);
+  }
+}
+
+TYPED_TEST(BlasTest, GemmBetaZeroOverwritesGarbage) {
+  using T = TypeParam;
+  const int n = 4;
+  std::vector<T> a(n * n, T{1});
+  std::vector<T> b(n * n, T{1});
+  std::vector<T> c(n * n, std::numeric_limits<T>::max());
+  gemm<T>(n, n, n, T{1}, a.data(), n, b.data(), n, false, T{0}, c.data(), n);
+  for (const T v : c) {
+    EXPECT_EQ(v, static_cast<T>(n));
+  }
+}
+
+TYPED_TEST(BlasTest, GemmRectangular) {
+  using T = TypeParam;
+  const int m = 3, n = 5, k = 2;
+  // a = ones(3x2), b = ones(2x5) -> c = 2 * ones(3x5).
+  std::vector<T> a(m * k, T{1});
+  std::vector<T> b(k * n, T{1});
+  std::vector<T> c(m * n, T{0});
+  gemm<T>(m, n, k, T{1}, a.data(), m, b.data(), k, false, T{0}, c.data(), m);
+  for (const T v : c) {
+    EXPECT_EQ(v, T{2});
+  }
+}
+
+TYPED_TEST(BlasTest, SyrkLowerMatchesGemm) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{44};
+  const int n = 11;
+  auto a = random_matrix<T>(n, n, rng);
+  std::vector<T> c_syrk(n * n, T{0});
+  std::vector<T> c_gemm(n * n, T{0});
+  syrk_lower<T>(n, n, T{-1}, a.data(), n, T{1}, c_syrk.data(), n);
+  gemm<T>(n, n, n, T{-1}, a.data(), n, a.data(), n, true, T{1}, c_gemm.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(c_syrk[i + j * n], c_gemm[i + j * n], 1e-4);
+    }
+  }
+}
+
+TYPED_TEST(BlasTest, SyrkLeavesUpperTriangleAlone) {
+  using T = TypeParam;
+  const int n = 6;
+  std::vector<T> a(n * n, T{1});
+  std::vector<T> c(n * n, T{7});
+  syrk_lower<T>(n, n, T{1}, a.data(), n, T{1}, c.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) {
+      EXPECT_EQ(c[i + j * n], T{7});
+    }
+  }
+}
+
+TYPED_TEST(BlasTest, TrsmSolvesRightLowerTranspose) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{45};
+  const int n = 8;
+  // Build a well-conditioned lower-triangular L.
+  std::vector<T> l(n * n, T{0});
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      l[i + j * n] = static_cast<T>(rng.uniform(0.1, 1.0));
+    }
+    l[j + j * n] += T{2};
+  }
+  auto b0 = random_matrix<T>(n, n, rng);
+  auto x = b0;
+  trsm_right_lower_trans<T>(n, n, l.data(), n, x.data(), n);
+  // Check X * L^T == B0.
+  std::vector<T> lt(n * n, T{0});
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      lt[i + j * n] = l[j + i * n];
+    }
+  }
+  std::vector<T> reconstructed(n * n, T{0});
+  gemm<T>(n, n, n, T{1}, x.data(), n, lt.data(), n, false, T{0}, reconstructed.data(), n);
+  for (int i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(reconstructed[i], b0[i], 5e-4);
+  }
+}
+
+TYPED_TEST(BlasTest, TrsmThrowsOnSingularFactor) {
+  using T = TypeParam;
+  const int n = 3;
+  std::vector<T> l(n * n, T{0});  // zero diagonal
+  std::vector<T> b(n * n, T{1});
+  EXPECT_THROW(trsm_right_lower_trans<T>(n, n, l.data(), n, b.data(), n), std::runtime_error);
+}
+
+TYPED_TEST(BlasTest, PotrfRecoversCholeskyFactor) {
+  using T = TypeParam;
+  sim::Xoshiro256 rng{46};
+  const int n = 12;
+  // A = L0 * L0^T with a known well-conditioned L0.
+  std::vector<T> l0(n * n, T{0});
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      l0[i + j * n] = static_cast<T>(rng.uniform(0.1, 1.0));
+    }
+    l0[j + j * n] += T{3};
+  }
+  std::vector<T> a(n * n, T{0});
+  gemm<T>(n, n, n, T{1}, l0.data(), n, l0.data(), n, true, T{0}, a.data(), n);
+  potrf_lower<T>(n, a.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(a[i + j * n], l0[i + j * n], 2e-3) << i << "," << j;
+    }
+  }
+}
+
+TYPED_TEST(BlasTest, PotrfThrowsOnIndefinite) {
+  using T = TypeParam;
+  const int n = 2;
+  // [[1, 0], [0, -1]] is indefinite.
+  std::vector<T> a = {T{1}, T{0}, T{0}, T{-1}};
+  EXPECT_THROW(potrf_lower<T>(n, a.data(), n), std::domain_error);
+}
+
+TYPED_TEST(BlasTest, PotrfOfIdentityIsIdentity) {
+  using T = TypeParam;
+  const int n = 5;
+  std::vector<T> a(n * n, T{0});
+  for (int i = 0; i < n; ++i) a[i + i * n] = T{1};
+  potrf_lower<T>(n, a.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(a[i + j * n], i == j ? T{1} : T{0}, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace greencap::la

@@ -1,0 +1,191 @@
+// Tiled LQ — row-reflector kernels and end-to-end validation via the
+// row-Gram invariant: A = L Q with Q orthogonal implies L L^T = A A^T.
+#include "la/lq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "la/verify.hpp"
+
+namespace greencap::la {
+namespace {
+
+std::vector<double> random_square(int n, std::uint64_t seed) {
+  sim::Xoshiro256 rng{seed};
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < n; ++i) a[i + static_cast<std::size_t>(i) * n] += 2.0;
+  return a;
+}
+
+// Row Gram matrix G = M M^T.
+std::vector<double> row_gram(int n, const std::vector<double>& m) {
+  std::vector<double> g(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += m[i + static_cast<std::size_t>(k) * n] * m[j + static_cast<std::size_t>(k) * n];
+      }
+      g[i + static_cast<std::size_t>(j) * n] = acc;
+    }
+  }
+  return g;
+}
+
+std::vector<double> lower_of(int n, const std::vector<double>& a) {
+  std::vector<double> l(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      l[i + static_cast<std::size_t>(j) * n] = a[i + static_cast<std::size_t>(j) * n];
+    }
+  }
+  return l;
+}
+
+TEST(LqKernels, Gelq2SatisfiesRowGramInvariant) {
+  const int n = 10;
+  auto a = random_square(n, 61);
+  const auto original = a;
+  std::vector<double> tau(n);
+  gelq2<double>(n, n, a.data(), n, tau.data());
+  EXPECT_LT(max_rel_error<double>(row_gram(n, lower_of(n, a)), row_gram(n, original)), 1e-10);
+}
+
+TEST(LqKernels, Gelq2RejectsTallMatrices) {
+  std::vector<double> a(6);
+  std::vector<double> tau(2);
+  EXPECT_THROW(gelq2<double>(3, 2, a.data(), 3, tau.data()), std::invalid_argument);
+}
+
+TEST(LqKernels, Orml2RecoversL) {
+  // A Q^T = L: applying orml2_right_trans to a fresh copy of A must zero
+  // the strict upper triangle and reproduce L.
+  const int n = 8;
+  auto a = random_square(n, 67);
+  auto factored = a;
+  std::vector<double> tau(n);
+  gelq2<double>(n, n, factored.data(), n, tau.data());
+
+  auto c = a;
+  orml2_right_trans<double>(n, n, n, factored.data(), n, tau.data(), c.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const double want = i >= j ? factored[i + static_cast<std::size_t>(j) * n] : 0.0;
+      EXPECT_NEAR(c[i + static_cast<std::size_t>(j) * n], want, 1e-9) << i << ',' << j;
+    }
+  }
+}
+
+TEST(LqKernels, Tplqt2FoldsSideBySidePair) {
+  // LQ of [L0 | B]: L L^T == L0 L0^T + B B^T.
+  const int n = 8;
+  auto seed_mat = random_square(n, 71);
+  std::vector<double> tau0(n);
+  gelq2<double>(n, n, seed_mat.data(), n, tau0.data());
+  auto l0 = lower_of(n, seed_mat);
+  auto b = random_square(n, 73);
+  const auto g_l0 = row_gram(n, l0);
+  const auto g_b = row_gram(n, b);
+
+  std::vector<double> tau(n);
+  auto l = l0;
+  tplqt2<double>(n, n, l.data(), n, b.data(), n, tau.data());
+  const auto g_after = row_gram(n, lower_of(n, l));
+  for (std::size_t i = 0; i < g_after.size(); ++i) {
+    EXPECT_NEAR(g_after[i], g_l0[i] + g_b[i], 1e-8);
+  }
+}
+
+TEST(LqKernels, TpmlqtMatchesExplicitApplication) {
+  const int n = 6;
+  auto l = lower_of(n, random_square(n, 79));
+  auto b = random_square(n, 83);
+  std::vector<double> tau(n);
+  tplqt2<double>(n, n, l.data(), n, b.data(), n, tau.data());
+
+  auto c1 = random_square(n, 89);
+  auto c2 = random_square(n, 97);
+  auto c1_ref = c1;
+  auto c2_ref = c2;
+  for (int i = 0; i < n; ++i) {  // ascending, mirroring the factorization
+    for (int r = 0; r < n; ++r) {
+      double w = c1_ref[r + static_cast<std::size_t>(i) * n];
+      for (int c = 0; c < n; ++c) {
+        w += b[i + static_cast<std::size_t>(c) * n] * c2_ref[r + static_cast<std::size_t>(c) * n];
+      }
+      w *= tau[i];
+      c1_ref[r + static_cast<std::size_t>(i) * n] -= w;
+      for (int c = 0; c < n; ++c) {
+        c2_ref[r + static_cast<std::size_t>(c) * n] -=
+            b[i + static_cast<std::size_t>(c) * n] * w;
+      }
+    }
+  }
+  tpmlqt_right_trans<double>(n, n, n, b.data(), n, tau.data(), c1.data(), n, c2.data(), n);
+  EXPECT_LT(max_rel_error<double>(c1, c1_ref), 1e-12);
+  EXPECT_LT(max_rel_error<double>(c2, c2_ref), 1e-12);
+}
+
+class LqShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(LqShape, TaskCountMirrorsQr) {
+  const int nt = GetParam();
+  hw::Platform platform{hw::presets::platform_32_amd_4_a100()};
+  sim::Simulator sim;
+  rt::Runtime runtime{platform, sim, rt::RuntimeOptions{}};
+  LqCodelets<double> cl;
+  TileMatrix<double> a{static_cast<std::int64_t>(nt) * 8, 8, /*allocate=*/false};
+  a.register_with(runtime);
+  QrWorkspace<double> workspace{runtime, a};
+  submit_gelqf<double>(runtime, cl, a, workspace);
+  runtime.wait_all();
+  EXPECT_EQ(runtime.stats().tasks_submitted,
+            static_cast<std::uint64_t>(gelqf_task_count(nt)));
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, LqShape, ::testing::Values(1, 2, 3, 4, 6));
+
+template <typename T>
+class LqNumerics : public ::testing::Test {};
+
+using Scalars = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(LqNumerics, Scalars);
+
+TYPED_TEST(LqNumerics, TiledLMatchesRowGramInvariant) {
+  using T = TypeParam;
+  hw::Platform platform{hw::presets::platform_24_intel_2_v100()};
+  sim::Simulator sim;
+  rt::RuntimeOptions opts;
+  opts.execute_kernels = true;
+  rt::Runtime runtime{platform, sim, opts};
+  LqCodelets<T> cl;
+
+  const int n = 48;
+  TileMatrix<T> a{n, 12};
+  sim::Xoshiro256 rng{101};
+  a.fill_random(rng);
+  for (int i = 0; i < n; ++i) a.at(i, i) += T{2};
+  std::vector<double> original(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      original[i + static_cast<std::size_t>(j) * n] = static_cast<double>(a.at(i, j));
+    }
+  }
+  a.register_with(runtime);
+  QrWorkspace<T> workspace{runtime, a};
+  submit_gelqf<T>(runtime, cl, a, workspace);
+  runtime.wait_all();
+
+  std::vector<double> l(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      l[i + static_cast<std::size_t>(j) * n] = static_cast<double>(a.at(i, j));
+    }
+  }
+  const double tol = std::is_same_v<T, float> ? 2e-2 : 1e-9;
+  EXPECT_LT(max_rel_error<double>(row_gram(n, l), row_gram(n, original)), tol);
+}
+
+}  // namespace
+}  // namespace greencap::la

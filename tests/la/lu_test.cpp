@@ -1,0 +1,174 @@
+// Tiled LU (no pivoting) — kernels, DAG shape and end-to-end numerics.
+#include "la/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "la/verify.hpp"
+
+namespace greencap::la {
+namespace {
+
+// -- kernels -------------------------------------------------------------------
+
+TEST(LuKernels, GetrfRecoversFactors) {
+  const int n = 8;
+  sim::Xoshiro256 rng{3};
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < n; ++i) a[i + i * n] += 2.0 * n;  // dominance
+  const std::vector<double> original = a;
+
+  getrf_nopiv<double>(n, a.data(), n);
+
+  // Rebuild L * U and compare to the original.
+  std::vector<double> rebuilt(n * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) {
+        const double lik = i == k ? 1.0 : a[i + k * n];
+        acc += lik * a[k + j * n];
+      }
+      rebuilt[i + j * n] = acc;
+    }
+  }
+  EXPECT_LT(max_rel_error<double>(rebuilt, original), 1e-10);
+}
+
+TEST(LuKernels, GetrfThrowsOnZeroPivot) {
+  std::vector<double> a = {0.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW(getrf_nopiv<double>(2, a.data(), 2), std::domain_error);
+}
+
+TEST(LuKernels, TrsmLeftLowerUnitSolves) {
+  const int n = 6;
+  sim::Xoshiro256 rng{5};
+  std::vector<double> l(n * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    l[j + j * n] = 1.0;  // unit diagonal (ignored by the kernel)
+    for (int i = j + 1; i < n; ++i) l[i + j * n] = rng.uniform(-0.5, 0.5);
+  }
+  std::vector<double> b0(n * n);
+  for (auto& v : b0) v = rng.uniform(-1.0, 1.0);
+  auto x = b0;
+  trsm_left_lower_unit<double>(n, n, l.data(), n, x.data(), n);
+  // L * X must equal B0 (with L's unit diagonal).
+  std::vector<double> rebuilt(n * n, 0.0);
+  gemm<double>(n, n, n, 1.0, l.data(), n, x.data(), n, false, 0.0, rebuilt.data(), n);
+  EXPECT_LT(max_rel_error<double>(rebuilt, b0), 1e-12);
+}
+
+TEST(LuKernels, TrsmRightUpperSolves) {
+  const int n = 6;
+  sim::Xoshiro256 rng{7};
+  std::vector<double> u(n * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) u[i + j * n] = rng.uniform(-0.5, 0.5);
+    u[j + j * n] = 2.0 + rng.uniform(0.0, 1.0);
+  }
+  std::vector<double> b0(n * n);
+  for (auto& v : b0) v = rng.uniform(-1.0, 1.0);
+  auto x = b0;
+  trsm_right_upper_nonunit<double>(n, n, u.data(), n, x.data(), n);
+  std::vector<double> rebuilt(n * n, 0.0);
+  gemm<double>(n, n, n, 1.0, x.data(), n, u.data(), n, false, 0.0, rebuilt.data(), n);
+  EXPECT_LT(max_rel_error<double>(rebuilt, b0), 1e-12);
+}
+
+TEST(LuKernels, TrsmRightUpperThrowsOnSingular) {
+  std::vector<double> u(4, 0.0);
+  std::vector<double> b(4, 1.0);
+  EXPECT_THROW(trsm_right_upper_nonunit<double>(2, 2, u.data(), 2, b.data(), 2),
+               std::runtime_error);
+}
+
+// -- DAG shape ---------------------------------------------------------------
+
+class LuShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuShape, TaskCountMatchesClosedForm) {
+  const int nt = GetParam();
+  hw::Platform platform{hw::presets::platform_32_amd_4_a100()};
+  sim::Simulator sim;
+  rt::Runtime runtime{platform, sim, rt::RuntimeOptions{}};
+  LuCodelets<double> cl;
+  TileMatrix<double> a{static_cast<std::int64_t>(nt) * 8, 8, /*allocate=*/false};
+  a.register_with(runtime);
+  submit_getrf<double>(runtime, cl, a);
+  runtime.wait_all();
+  EXPECT_EQ(runtime.stats().tasks_submitted,
+            static_cast<std::uint64_t>(getrf_task_count(nt)));
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, LuShape, ::testing::Values(1, 2, 3, 4, 6, 10));
+
+TEST(LuShapeCounts, ClosedForm) {
+  EXPECT_EQ(getrf_task_count(1), 1);
+  EXPECT_EQ(getrf_task_count(2), 5);
+  EXPECT_EQ(getrf_task_count(3), 14);
+  EXPECT_EQ(getrf_task_count(10), 385);
+}
+
+// -- end-to-end numerics --------------------------------------------------------
+
+template <typename T>
+class LuNumerics : public ::testing::Test {};
+
+using Scalars = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(LuNumerics, Scalars);
+
+TYPED_TEST(LuNumerics, TiledLuMatchesDenseReference) {
+  using T = TypeParam;
+  hw::Platform platform{hw::presets::platform_24_intel_2_v100()};
+  sim::Simulator sim;
+  rt::RuntimeOptions opts;
+  opts.execute_kernels = true;
+  rt::Runtime runtime{platform, sim, opts};
+  LuCodelets<T> cl;
+
+  const std::int64_t n = 48;
+  TileMatrix<T> a{n, 12};
+  sim::Xoshiro256 rng{21};
+  a.make_diagonally_dominant(rng);
+  a.register_with(runtime);
+
+  auto expected = a.to_dense();
+  reference_getrf<T>(n, expected);
+
+  submit_getrf<T>(runtime, cl, a);
+  runtime.wait_all();
+
+  const double tol = std::is_same_v<T, float> ? 2e-3 : 1e-10;
+  EXPECT_LT(max_rel_error<T>(a.to_dense(), expected), tol);
+}
+
+TEST(LuNumericsSchedulers, CorrectUnderEveryPolicy) {
+  for (const char* sched : {"eager", "prio", "random", "ws", "lws", "dm", "dmda", "dmdas", "dmdae"}) {
+    hw::Platform platform{hw::presets::platform_32_amd_4_a100()};
+    sim::Simulator sim;
+    rt::RuntimeOptions opts;
+    opts.execute_kernels = true;
+    opts.scheduler = sched;
+    rt::Runtime runtime{platform, sim, opts};
+    LuCodelets<double> cl;
+    const std::int64_t n = 32;
+    TileMatrix<double> a{n, 8};
+    sim::Xoshiro256 rng{23};
+    a.make_diagonally_dominant(rng);
+    a.register_with(runtime);
+    auto expected = a.to_dense();
+    reference_getrf<double>(n, expected);
+    submit_getrf<double>(runtime, cl, a);
+    runtime.wait_all();
+    EXPECT_LT(max_rel_error<double>(a.to_dense(), expected), 1e-10) << sched;
+  }
+}
+
+TEST(LuFlops, TotalCount) {
+  EXPECT_NEAR(flops_lu::getrf(100.0), 2e6 / 3 - 5000 - 100.0 / 6, 1e-9);
+}
+
+}  // namespace
+}  // namespace greencap::la

@@ -1,0 +1,112 @@
+#include "la/tile_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+
+namespace greencap::la {
+namespace {
+
+TEST(TileMatrix, ValidatesDivisibility) {
+  EXPECT_THROW(TileMatrix<double>(100, 33), std::invalid_argument);
+  EXPECT_THROW(TileMatrix<double>(0, 32), std::invalid_argument);
+  EXPECT_THROW(TileMatrix<double>(-64, 32), std::invalid_argument);
+  EXPECT_NO_THROW(TileMatrix<double>(96, 32));
+}
+
+TEST(TileMatrix, Geometry) {
+  TileMatrix<double> m{96, 32};
+  EXPECT_EQ(m.n(), 96);
+  EXPECT_EQ(m.nb(), 32);
+  EXPECT_EQ(m.nt(), 3);
+  EXPECT_EQ(m.tile_bytes(), 32u * 32u * sizeof(double));
+  EXPECT_TRUE(m.allocated());
+}
+
+TEST(TileMatrix, MetadataOnlyHasNoStorage) {
+  TileMatrix<double> m{74880, 5760, /*allocate=*/false};
+  EXPECT_FALSE(m.allocated());
+  EXPECT_EQ(m.tile(0, 0), nullptr);
+  EXPECT_THROW(m.to_dense(), std::logic_error);
+  sim::Xoshiro256 rng{1};
+  EXPECT_THROW(m.fill_random(rng), std::logic_error);
+}
+
+TEST(TileMatrix, ElementAndTileAccessorsAgree) {
+  TileMatrix<float> m{8, 4};
+  for (std::int64_t j = 0; j < 8; ++j) {
+    for (std::int64_t i = 0; i < 8; ++i) {
+      m.at(i, j) = static_cast<float>(i * 10 + j);
+    }
+  }
+  // Tile (1, 0) holds rows 4..7, cols 0..3.
+  const float* t10 = m.tile(1, 0);
+  EXPECT_EQ(t10[0], 40.0f);      // (4, 0)
+  EXPECT_EQ(t10[1], 50.0f);      // (5, 0)
+  EXPECT_EQ(t10[0 + 2 * 4], 42.0f);  // (4, 2)
+}
+
+TEST(TileMatrix, TileIndexBoundsChecked) {
+  TileMatrix<double> m{8, 4};
+  EXPECT_THROW((void)m.tile(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.tile(0, -1), std::out_of_range);
+}
+
+TEST(TileMatrix, ToDenseRoundTrip) {
+  TileMatrix<double> m{8, 4};
+  sim::Xoshiro256 rng{5};
+  m.fill_random(rng);
+  const auto dense = m.to_dense();
+  for (std::int64_t j = 0; j < 8; ++j) {
+    for (std::int64_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(dense[i + j * 8], m.at(i, j));
+    }
+  }
+}
+
+TEST(TileMatrix, SpdIsSymmetricWithDominantDiagonal) {
+  TileMatrix<double> m{16, 4};
+  sim::Xoshiro256 rng{9};
+  m.make_spd(rng);
+  for (std::int64_t j = 0; j < 16; ++j) {
+    for (std::int64_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(m.at(i, j), m.at(j, i));
+    }
+    EXPECT_GT(m.at(j, j), 10.0);
+  }
+}
+
+TEST(TileMatrix, FillRandomIsSeedDeterministic) {
+  TileMatrix<double> a{8, 4};
+  TileMatrix<double> b{8, 4};
+  sim::Xoshiro256 r1{33}, r2{33};
+  a.fill_random(r1);
+  b.fill_random(r2);
+  EXPECT_EQ(a.to_dense(), b.to_dense());
+}
+
+TEST(TileMatrix, RegisterWithRuntimeCreatesHandlePerTile) {
+  hw::Platform platform{hw::presets::platform_24_intel_2_v100()};
+  sim::Simulator sim;
+  rt::Runtime runtime{platform, sim, rt::RuntimeOptions{}};
+  TileMatrix<double> m{12, 4};
+  EXPECT_THROW((void)m.handle(0, 0), std::logic_error);  // before registration
+  m.register_with(runtime);
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      rt::DataHandle* h = m.handle(i, j);
+      ASSERT_NE(h, nullptr);
+      EXPECT_EQ(h->bytes(), m.tile_bytes());
+      EXPECT_EQ(h->host_ptr(), m.tile(i, j));
+    }
+  }
+  EXPECT_NE(m.handle(0, 0), m.handle(1, 0));
+}
+
+TEST(ScalarTraits, MapToPrecisions) {
+  EXPECT_EQ(scalar_traits<float>::precision, hw::Precision::kSingle);
+  EXPECT_EQ(scalar_traits<double>::precision, hw::Precision::kDouble);
+}
+
+}  // namespace
+}  // namespace greencap::la

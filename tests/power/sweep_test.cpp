@@ -1,0 +1,110 @@
+#include "power/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_params.hpp"
+#include "hw/presets.hpp"
+
+namespace greencap::power {
+namespace {
+
+TEST(Sweep, CoversMinToTdp) {
+  const auto result = sweep_gemm_caps(hw::presets::a100_sxm4(), hw::Precision::kDouble, 5120);
+  ASSERT_FALSE(result.points.empty());
+  EXPECT_NEAR(result.points.front().cap_w, 100.0, 1e-9);
+  EXPECT_NEAR(result.points.back().cap_w, 400.0, 1e-9);
+  EXPECT_EQ(result.default_index, result.points.size() - 1);
+}
+
+TEST(Sweep, CapsAscendInTwoPercentSteps) {
+  const auto result = sweep_gemm_caps(hw::presets::a100_sxm4(), hw::Precision::kDouble, 5120);
+  // 2 % of 400 W = 8 W steps; the final step to the TDP may be shorter.
+  for (std::size_t i = 1; i + 1 < result.points.size(); ++i) {
+    EXPECT_NEAR(result.points[i].cap_w - result.points[i - 1].cap_w, 8.0, 1e-9);
+  }
+  const double last_step =
+      result.points.back().cap_w - result.points[result.points.size() - 2].cap_w;
+  EXPECT_GT(last_step, 0.0);
+  EXPECT_LE(last_step, 8.0 + 1e-9);
+}
+
+TEST(Sweep, PerformanceMonotoneInCap) {
+  for (auto precision : {hw::Precision::kSingle, hw::Precision::kDouble}) {
+    const auto result = sweep_gemm_caps(hw::presets::v100_pcie(), precision, 5120);
+    for (std::size_t i = 1; i < result.points.size(); ++i) {
+      EXPECT_GE(result.points[i].gflops, result.points[i - 1].gflops - 1e-9);
+    }
+  }
+}
+
+TEST(Sweep, PowerNeverExceedsCap) {
+  const auto result = sweep_gemm_caps(hw::presets::a100_pcie(), hw::Precision::kSingle, 5760);
+  for (const SweepPoint& p : result.points) {
+    EXPECT_LE(p.power_w, p.cap_w + 1e-9);
+  }
+}
+
+TEST(Sweep, EfficiencyIsConsistentWithComponents) {
+  const auto result = sweep_gemm_caps(hw::presets::a100_sxm4(), hw::Precision::kDouble, 5120);
+  for (const SweepPoint& p : result.points) {
+    EXPECT_NEAR(p.efficiency_gflops_per_w, p.gflops / p.power_w, 1e-6);
+    EXPECT_NEAR(p.energy_j, p.power_w * p.time_s, 1e-9);
+  }
+}
+
+TEST(Sweep, SmallerMatricesLessEfficient) {
+  // Paper: "Bigger matrix sizes tend to have better energy efficiency".
+  const auto big = sweep_gemm_caps(hw::presets::a100_sxm4(), hw::Precision::kDouble, 5120);
+  const auto small = sweep_gemm_caps(hw::presets::a100_sxm4(), hw::Precision::kDouble, 1024);
+  EXPECT_GT(big.best().efficiency_gflops_per_w, small.best().efficiency_gflops_per_w);
+}
+
+TEST(Sweep, FindBestCapMatchesSweep) {
+  const auto result = sweep_gemm_caps(hw::presets::v100_pcie(), hw::Precision::kDouble, 5120);
+  EXPECT_DOUBLE_EQ(find_best_cap_w(hw::presets::v100_pcie(), hw::Precision::kDouble, 5120),
+                   result.best().cap_w);
+}
+
+// -- Table I anchors: the calibrated models must reproduce the published
+//    best-efficiency points within the sweep granularity. ------------------
+
+class TableIAnchors : public ::testing::TestWithParam<core::paper::TableIRow> {};
+
+TEST_P(TableIAnchors, BestCapNearPublished) {
+  const auto& row = GetParam();
+  const auto result =
+      sweep_gemm_caps(hw::presets::gpu_by_name(row.gpu), row.precision, row.matrix_size);
+  // Within 2 sweep steps (4 % of TDP) of the published peak position.
+  EXPECT_NEAR(result.best().cap_pct_tdp, row.published_best_pct_tdp, 4.0)
+      << row.gpu << " " << hw::to_string(row.precision);
+}
+
+TEST_P(TableIAnchors, EfficiencySavingNearPublished) {
+  const auto& row = GetParam();
+  const auto result =
+      sweep_gemm_caps(hw::presets::gpu_by_name(row.gpu), row.precision, row.matrix_size);
+  EXPECT_NEAR(result.efficiency_saving_pct(), row.published_saving_pct, 5.0)
+      << row.gpu << " " << hw::to_string(row.precision);
+}
+
+TEST_P(TableIAnchors, SlowdownInPublishedBand) {
+  const auto& row = GetParam();
+  const auto result =
+      sweep_gemm_caps(hw::presets::gpu_by_name(row.gpu), row.precision, row.matrix_size);
+  // All of the paper's best points trade 8-25 % performance.
+  EXPECT_GT(result.slowdown_pct(), 5.0);
+  EXPECT_LT(result.slowdown_pct(), 28.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableIAnchors,
+                         ::testing::ValuesIn(core::paper::table_i()),
+                         [](const auto& test_info) {
+                           std::string name = test_info.param.gpu;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_" + hw::to_string(test_info.param.precision);
+                         });
+
+}  // namespace
+}  // namespace greencap::power

@@ -1,0 +1,100 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace greencap::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), SimTime::infinity());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::seconds(3.0), [&] { order.push_back(3); });
+  q.schedule(SimTime::seconds(1.0), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(2.0), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [when, cb] = q.pop();
+    cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(SimTime::seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().second();
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueue, PopReturnsScheduledTime) {
+  EventQueue q;
+  q.schedule(SimTime::seconds(4.5), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::seconds(4.5));
+  auto [when, cb] = q.pop();
+  EXPECT_EQ(when, SimTime::seconds(4.5));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(SimTime::seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::seconds(1.0), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelledEventSkippedByNextTime) {
+  EventQueue q;
+  const EventId early = q.schedule(SimTime::seconds(1.0), [] {});
+  q.schedule(SimTime::seconds(2.0), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2.0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::seconds(1.0), [] {});
+  q.schedule(SimTime::seconds(2.0), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::seconds(1.0), [&] { order.push_back(1); });
+  q.pop().second();
+  q.schedule(SimTime::seconds(0.5), [&] { order.push_back(2); });
+  q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace greencap::sim

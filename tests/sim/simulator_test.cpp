@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace greencap::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunAdvancesClockToLastEvent) {
+  Simulator sim;
+  sim.at(SimTime::seconds(5.0), [] {});
+  sim.at(SimTime::seconds(2.0), [] {});
+  EXPECT_EQ(sim.run(), SimTime::seconds(5.0));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5.0));
+}
+
+TEST(Simulator, AfterIsRelativeToNow) {
+  Simulator sim;
+  SimTime observed;
+  sim.at(SimTime::seconds(1.0), [&] {
+    sim.after(SimTime::seconds(2.0), [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, SimTime::seconds(3.0));
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(SimTime::seconds(2.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(SimTime::seconds(1.0), [] {}), TimeTravelError);
+  EXPECT_THROW(sim.after(SimTime::seconds(-0.5), [] {}), TimeTravelError);
+}
+
+TEST(Simulator, SchedulingAtNowIsAllowed) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(SimTime::seconds(1.0), [&] {
+    sim.at(sim.now(), [&] { fired = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCascade) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      sim.after(SimTime::seconds(1.0), recurse);
+    }
+  };
+  sim.after(SimTime::seconds(1.0), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), SimTime::seconds(10.0));
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.at(SimTime::seconds(1.0), [&] { ++count; });
+  sim.at(SimTime::seconds(2.0), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(1.0));
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.at(SimTime::seconds(1.0), [&] { ++count; });
+  sim.at(SimTime::seconds(2.0), [&] { ++count; });
+  sim.at(SimTime::seconds(5.0), [&] { ++count; });
+  sim.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(count, 2);  // events at exactly the deadline fire
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.0));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenEventsRemain) {
+  Simulator sim;
+  sim.at(SimTime::seconds(10.0), [] {});
+  sim.run_until(SimTime::seconds(4.0));
+  EXPECT_EQ(sim.now(), SimTime::seconds(4.0));
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(SimTime::seconds(1.0), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DeterministicOrderAtSameInstant) {
+  std::vector<int> first_run;
+  std::vector<int> second_run;
+  for (auto* out : {&first_run, &second_run}) {
+    Simulator sim;
+    for (int i = 0; i < 8; ++i) {
+      sim.at(SimTime::seconds(1.0), [out, i] { out->push_back(i); });
+    }
+    sim.run();
+  }
+  EXPECT_EQ(first_run, second_run);
+}
+
+}  // namespace
+}  // namespace greencap::sim

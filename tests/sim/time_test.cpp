@@ -1,0 +1,66 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace greencap::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(SimTime{}.sec(), 0.0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1.5).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::millis(1500.0).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::micros(1.5e6).sec(), 1.5);
+}
+
+TEST(SimTime, UnitAccessors) {
+  const SimTime t = SimTime::seconds(0.25);
+  EXPECT_DOUBLE_EQ(t.ms(), 250.0);
+  EXPECT_DOUBLE_EQ(t.us(), 250000.0);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::seconds(1.0), SimTime::seconds(2.0));
+  EXPECT_GT(SimTime::seconds(3.0), SimTime::seconds(2.0));
+  EXPECT_LE(SimTime::seconds(2.0), SimTime::seconds(2.0));
+  EXPECT_EQ(SimTime::seconds(2.0), SimTime::seconds(2.0));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(2.0);
+  const SimTime b = SimTime::seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).sec(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).sec(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).sec(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).sec(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).sec(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::seconds(1.0);
+  t += SimTime::seconds(2.0);
+  EXPECT_DOUBLE_EQ(t.sec(), 3.0);
+  t -= SimTime::seconds(0.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 2.5);
+}
+
+TEST(SimTime, Infinity) {
+  const SimTime inf = SimTime::infinity();
+  EXPECT_FALSE(inf.is_finite());
+  EXPECT_TRUE(SimTime::zero().is_finite());
+  EXPECT_LT(SimTime::seconds(1e18), inf);
+  EXPECT_EQ(inf.to_string(), "+inf");
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_NE(SimTime::micros(5.0).to_string().find("us"), std::string::npos);
+  EXPECT_NE(SimTime::millis(5.0).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::seconds(5.0).to_string().find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greencap::sim
