@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dynamic_cap"
+  "../bench/ablation_dynamic_cap.pdb"
+  "CMakeFiles/ablation_dynamic_cap.dir/ablation_dynamic_cap.cpp.o"
+  "CMakeFiles/ablation_dynamic_cap.dir/ablation_dynamic_cap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

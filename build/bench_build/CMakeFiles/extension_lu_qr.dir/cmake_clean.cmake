@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_lu_qr"
+  "../bench/extension_lu_qr.pdb"
+  "CMakeFiles/extension_lu_qr.dir/extension_lu_qr.cpp.o"
+  "CMakeFiles/extension_lu_qr.dir/extension_lu_qr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_lu_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_gemm_cap_sweep.cpp" "bench_build/CMakeFiles/fig1_gemm_cap_sweep.dir/fig1_gemm_cap_sweep.cpp.o" "gcc" "bench_build/CMakeFiles/fig1_gemm_cap_sweep.dir/fig1_gemm_cap_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/greencap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/greencap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/greencap_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/greencap_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/greencap_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/greencap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/greencap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

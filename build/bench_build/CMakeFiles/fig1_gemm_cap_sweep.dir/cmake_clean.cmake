@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_gemm_cap_sweep"
+  "../bench/fig1_gemm_cap_sweep.pdb"
+  "CMakeFiles/fig1_gemm_cap_sweep.dir/fig1_gemm_cap_sweep.cpp.o"
+  "CMakeFiles/fig1_gemm_cap_sweep.dir/fig1_gemm_cap_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gemm_cap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_gemm_cap_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_single_configs"
+  "../bench/fig4_single_configs.pdb"
+  "CMakeFiles/fig4_single_configs.dir/fig4_single_configs.cpp.o"
+  "CMakeFiles/fig4_single_configs.dir/fig4_single_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_single_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cpu_capping"
+  "../bench/fig6_cpu_capping.pdb"
+  "CMakeFiles/fig6_cpu_capping.dir/fig6_cpu_capping.cpp.o"
+  "CMakeFiles/fig6_cpu_capping.dir/fig6_cpu_capping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cpu_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_tile_sweep"
+  "../bench/fig7_tile_sweep.pdb"
+  "CMakeFiles/fig7_tile_sweep.dir/fig7_tile_sweep.cpp.o"
+  "CMakeFiles/fig7_tile_sweep.dir/fig7_tile_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tile_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_runtime"
+  "../bench/micro_runtime.pdb"
+  "CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o"
+  "CMakeFiles/micro_runtime.dir/micro_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/summary_headline"
+  "../bench/summary_headline.pdb"
+  "CMakeFiles/summary_headline.dir/summary_headline.cpp.o"
+  "CMakeFiles/summary_headline.dir/summary_headline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

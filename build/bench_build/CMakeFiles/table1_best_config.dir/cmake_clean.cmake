@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_best_config"
+  "../bench/table1_best_config.pdb"
+  "CMakeFiles/table1_best_config.dir/table1_best_config.cpp.o"
+  "CMakeFiles/table1_best_config.dir/table1_best_config.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_best_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_platform_params"
+  "../bench/table2_platform_params.pdb"
+  "CMakeFiles/table2_platform_params.dir/table2_platform_params.cpp.o"
+  "CMakeFiles/table2_platform_params.dir/table2_platform_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_platform_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_energy.dir/cholesky_energy.cpp.o"
+  "CMakeFiles/cholesky_energy.dir/cholesky_energy.cpp.o.d"
+  "cholesky_energy"
+  "cholesky_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_capping.dir/dynamic_capping.cpp.o"
+  "CMakeFiles/dynamic_capping.dir/dynamic_capping.cpp.o.d"
+  "dynamic_capping"
+  "dynamic_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_factorization.dir/lu_factorization.cpp.o"
+  "CMakeFiles/lu_factorization.dir/lu_factorization.cpp.o.d"
+  "lu_factorization"
+  "lu_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

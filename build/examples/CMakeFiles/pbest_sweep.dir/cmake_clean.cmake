@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbest_sweep.dir/pbest_sweep.cpp.o"
+  "CMakeFiles/pbest_sweep.dir/pbest_sweep.cpp.o.d"
+  "pbest_sweep"
+  "pbest_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbest_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

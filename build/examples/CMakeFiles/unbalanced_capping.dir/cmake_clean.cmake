@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbalanced_capping.dir/unbalanced_capping.cpp.o"
+  "CMakeFiles/unbalanced_capping.dir/unbalanced_capping.cpp.o.d"
+  "unbalanced_capping"
+  "unbalanced_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbalanced_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unbalanced_capping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_core.dir/experiment.cpp.o"
+  "CMakeFiles/greencap_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/greencap_core.dir/pareto.cpp.o"
+  "CMakeFiles/greencap_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/greencap_core.dir/report.cpp.o"
+  "CMakeFiles/greencap_core.dir/report.cpp.o.d"
+  "libgreencap_core.a"
+  "libgreencap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

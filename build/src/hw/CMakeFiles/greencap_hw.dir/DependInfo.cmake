@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu_model.cpp" "src/hw/CMakeFiles/greencap_hw.dir/cpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/hw/energy_meter.cpp" "src/hw/CMakeFiles/greencap_hw.dir/energy_meter.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/energy_meter.cpp.o.d"
+  "/root/repo/src/hw/gpu_model.cpp" "src/hw/CMakeFiles/greencap_hw.dir/gpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/hw/kernel_work.cpp" "src/hw/CMakeFiles/greencap_hw.dir/kernel_work.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/kernel_work.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/greencap_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hw/power_curve.cpp" "src/hw/CMakeFiles/greencap_hw.dir/power_curve.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/power_curve.cpp.o.d"
+  "/root/repo/src/hw/presets.cpp" "src/hw/CMakeFiles/greencap_hw.dir/presets.cpp.o" "gcc" "src/hw/CMakeFiles/greencap_hw.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/greencap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

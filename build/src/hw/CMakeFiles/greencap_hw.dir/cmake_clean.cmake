@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_hw.dir/cpu_model.cpp.o"
+  "CMakeFiles/greencap_hw.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/greencap_hw.dir/energy_meter.cpp.o"
+  "CMakeFiles/greencap_hw.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/greencap_hw.dir/gpu_model.cpp.o"
+  "CMakeFiles/greencap_hw.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/greencap_hw.dir/kernel_work.cpp.o"
+  "CMakeFiles/greencap_hw.dir/kernel_work.cpp.o.d"
+  "CMakeFiles/greencap_hw.dir/platform.cpp.o"
+  "CMakeFiles/greencap_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/greencap_hw.dir/power_curve.cpp.o"
+  "CMakeFiles/greencap_hw.dir/power_curve.cpp.o.d"
+  "CMakeFiles/greencap_hw.dir/presets.cpp.o"
+  "CMakeFiles/greencap_hw.dir/presets.cpp.o.d"
+  "libgreencap_hw.a"
+  "libgreencap_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_nvml.dir/nvml.cpp.o"
+  "CMakeFiles/greencap_nvml.dir/nvml.cpp.o.d"
+  "libgreencap_nvml.a"
+  "libgreencap_nvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_nvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for greencap_nvml.
+# This may be replaced when dependencies are built.

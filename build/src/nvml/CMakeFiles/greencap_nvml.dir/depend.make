@@ -1,0 +1,2 @@
+# Empty dependencies file for greencap_nvml.
+# This may be replaced when dependencies are built.

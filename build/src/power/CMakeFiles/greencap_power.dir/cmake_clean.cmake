@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_power.dir/config.cpp.o"
+  "CMakeFiles/greencap_power.dir/config.cpp.o.d"
+  "CMakeFiles/greencap_power.dir/dynamic.cpp.o"
+  "CMakeFiles/greencap_power.dir/dynamic.cpp.o.d"
+  "CMakeFiles/greencap_power.dir/manager.cpp.o"
+  "CMakeFiles/greencap_power.dir/manager.cpp.o.d"
+  "CMakeFiles/greencap_power.dir/sweep.cpp.o"
+  "CMakeFiles/greencap_power.dir/sweep.cpp.o.d"
+  "libgreencap_power.a"
+  "libgreencap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreencap_power.a"
+)

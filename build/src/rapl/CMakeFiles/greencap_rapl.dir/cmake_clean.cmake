@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_rapl.dir/rapl.cpp.o"
+  "CMakeFiles/greencap_rapl.dir/rapl.cpp.o.d"
+  "libgreencap_rapl.a"
+  "libgreencap_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

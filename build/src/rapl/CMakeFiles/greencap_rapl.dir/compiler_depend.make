@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for greencap_rapl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/analysis.cpp" "src/rt/CMakeFiles/greencap_rt.dir/analysis.cpp.o" "gcc" "src/rt/CMakeFiles/greencap_rt.dir/analysis.cpp.o.d"
+  "/root/repo/src/rt/calibration.cpp" "src/rt/CMakeFiles/greencap_rt.dir/calibration.cpp.o" "gcc" "src/rt/CMakeFiles/greencap_rt.dir/calibration.cpp.o.d"
+  "/root/repo/src/rt/perf_model.cpp" "src/rt/CMakeFiles/greencap_rt.dir/perf_model.cpp.o" "gcc" "src/rt/CMakeFiles/greencap_rt.dir/perf_model.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/rt/CMakeFiles/greencap_rt.dir/runtime.cpp.o" "gcc" "src/rt/CMakeFiles/greencap_rt.dir/runtime.cpp.o.d"
+  "/root/repo/src/rt/scheduler.cpp" "src/rt/CMakeFiles/greencap_rt.dir/scheduler.cpp.o" "gcc" "src/rt/CMakeFiles/greencap_rt.dir/scheduler.cpp.o.d"
+  "/root/repo/src/rt/worker.cpp" "src/rt/CMakeFiles/greencap_rt.dir/worker.cpp.o" "gcc" "src/rt/CMakeFiles/greencap_rt.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/greencap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/greencap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_rt.dir/analysis.cpp.o"
+  "CMakeFiles/greencap_rt.dir/analysis.cpp.o.d"
+  "CMakeFiles/greencap_rt.dir/calibration.cpp.o"
+  "CMakeFiles/greencap_rt.dir/calibration.cpp.o.d"
+  "CMakeFiles/greencap_rt.dir/perf_model.cpp.o"
+  "CMakeFiles/greencap_rt.dir/perf_model.cpp.o.d"
+  "CMakeFiles/greencap_rt.dir/runtime.cpp.o"
+  "CMakeFiles/greencap_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/greencap_rt.dir/scheduler.cpp.o"
+  "CMakeFiles/greencap_rt.dir/scheduler.cpp.o.d"
+  "CMakeFiles/greencap_rt.dir/worker.cpp.o"
+  "CMakeFiles/greencap_rt.dir/worker.cpp.o.d"
+  "libgreencap_rt.a"
+  "libgreencap_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

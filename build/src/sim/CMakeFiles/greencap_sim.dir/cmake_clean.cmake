@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/greencap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/greencap_sim.dir/log.cpp.o"
+  "CMakeFiles/greencap_sim.dir/log.cpp.o.d"
+  "CMakeFiles/greencap_sim.dir/rng.cpp.o"
+  "CMakeFiles/greencap_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/greencap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/greencap_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/greencap_sim.dir/time.cpp.o"
+  "CMakeFiles/greencap_sim.dir/time.cpp.o.d"
+  "CMakeFiles/greencap_sim.dir/trace.cpp.o"
+  "CMakeFiles/greencap_sim.dir/trace.cpp.o.d"
+  "libgreencap_sim.a"
+  "libgreencap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facades.dir/nvml_rapl/nvml_test.cpp.o"
+  "CMakeFiles/test_facades.dir/nvml_rapl/nvml_test.cpp.o.d"
+  "CMakeFiles/test_facades.dir/nvml_rapl/rapl_test.cpp.o"
+  "CMakeFiles/test_facades.dir/nvml_rapl/rapl_test.cpp.o.d"
+  "test_facades"
+  "test_facades.pdb"
+  "test_facades[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/blas_test.cpp" "tests/CMakeFiles/test_la.dir/la/blas_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/blas_test.cpp.o.d"
+  "/root/repo/tests/la/lq_test.cpp" "tests/CMakeFiles/test_la.dir/la/lq_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/lq_test.cpp.o.d"
+  "/root/repo/tests/la/lu_test.cpp" "tests/CMakeFiles/test_la.dir/la/lu_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/lu_test.cpp.o.d"
+  "/root/repo/tests/la/operations_test.cpp" "tests/CMakeFiles/test_la.dir/la/operations_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/operations_test.cpp.o.d"
+  "/root/repo/tests/la/qr_test.cpp" "tests/CMakeFiles/test_la.dir/la/qr_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/qr_test.cpp.o.d"
+  "/root/repo/tests/la/solve_test.cpp" "tests/CMakeFiles/test_la.dir/la/solve_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/solve_test.cpp.o.d"
+  "/root/repo/tests/la/tile_matrix_test.cpp" "tests/CMakeFiles/test_la.dir/la/tile_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/tile_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/greencap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/greencap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/greencap_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/greencap_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/greencap_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/greencap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/greencap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/analysis_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/analysis_test.cpp.o.d"
+  "/root/repo/tests/rt/calibration_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/calibration_test.cpp.o.d"
+  "/root/repo/tests/rt/dependency_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/dependency_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/dependency_test.cpp.o.d"
+  "/root/repo/tests/rt/features_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/features_test.cpp.o.d"
+  "/root/repo/tests/rt/fuzz_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/fuzz_test.cpp.o.d"
+  "/root/repo/tests/rt/perf_model_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/perf_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/perf_model_test.cpp.o.d"
+  "/root/repo/tests/rt/runtime_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/runtime_test.cpp.o.d"
+  "/root/repo/tests/rt/scheduler_test.cpp" "tests/CMakeFiles/test_rt.dir/rt/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_rt.dir/rt/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/greencap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/greencap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/greencap_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvml/CMakeFiles/greencap_nvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/greencap_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/greencap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/greencap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt.dir/rt/analysis_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/analysis_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/calibration_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/calibration_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/dependency_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/dependency_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/features_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/features_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/fuzz_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/perf_model_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/perf_model_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/runtime_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/runtime_test.cpp.o.d"
+  "CMakeFiles/test_rt.dir/rt/scheduler_test.cpp.o"
+  "CMakeFiles/test_rt.dir/rt/scheduler_test.cpp.o.d"
+  "test_rt"
+  "test_rt.pdb"
+  "test_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

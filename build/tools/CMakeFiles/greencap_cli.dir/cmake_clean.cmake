@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencap_cli.dir/greencap_cli.cpp.o"
+  "CMakeFiles/greencap_cli.dir/greencap_cli.cpp.o.d"
+  "greencap"
+  "greencap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
