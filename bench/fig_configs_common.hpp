@@ -16,8 +16,11 @@ inline void run_config_figure(const Cli& cli, hw::Precision precision, const cha
       const auto row = core::paper::table_ii_row(platform, op, precision);
       const std::size_t gpus = hw::presets::platform_by_name(platform).gpus.size();
 
-      const core::ExperimentResult baseline = core::run_experiment(
-          experiment_for(row, power::GpuConfig::uniform(gpus, power::Level::kHigh).to_string()));
+      core::ExperimentConfig base_cfg =
+          experiment_for(row, power::GpuConfig::uniform(gpus, power::Level::kHigh).to_string());
+      cli.apply_observability(base_cfg);
+      const core::ExperimentResult baseline = core::run_experiment(base_cfg);
+      cli.maybe_export(baseline);
 
       core::Table table{{"config", "perf delta %", "energy delta %", "efficiency Gf/s/W",
                          "Gflop/s", "energy J", "time s", "cpu tasks"}};

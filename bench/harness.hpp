@@ -6,6 +6,8 @@
 // machine-readable CSV to stdout.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,25 +15,52 @@
 #include "core/experiment.hpp"
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
+#include "obs/trace_export.hpp"
 
 namespace greencap::bench {
 
 struct Cli {
   bool csv = false;
   bool quick = false;  ///< coarser sweeps for smoke runs
+  // Observability capture for the *first* experiment a binary runs (the
+  // figures loop over dozens of configs; one representative profile is
+  // what you want for a Perfetto look at the schedule).
+  std::string trace_json;
+  std::string metrics_json;
+  double telemetry_period_ms = 0.0;
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) return arg.substr(eq + 1);
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
       if (arg == "--csv") {
         cli.csv = true;
       } else if (arg == "--quick") {
         cli.quick = true;
+      } else if (arg.rfind("--trace-json", 0) == 0) {
+        cli.trace_json = value();
+      } else if (arg.rfind("--metrics-json", 0) == 0) {
+        cli.metrics_json = value();
+      } else if (arg.rfind("--telemetry-period-ms", 0) == 0) {
+        cli.telemetry_period_ms = std::atof(value().c_str());
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: " << argv[0] << " [--csv] [--quick]\n"
-                  << "  --csv    also emit CSV after each table\n"
-                  << "  --quick  coarser sweeps (CI smoke mode)\n";
+        std::cout << "usage: " << argv[0]
+                  << " [--csv] [--quick] [--trace-json FILE] [--metrics-json FILE]"
+                     " [--telemetry-period-ms N]\n"
+                  << "  --csv                    also emit CSV after each table\n"
+                  << "  --quick                  coarser sweeps (CI smoke mode)\n"
+                  << "  --trace-json FILE        Perfetto export of the first experiment\n"
+                  << "  --metrics-json FILE      metrics snapshot of the first experiment\n"
+                  << "  --telemetry-period-ms N  telemetry sampling period for the capture\n";
         std::exit(0);
       } else {
         std::cerr << "unknown argument: " << arg << "\n";
@@ -40,6 +69,48 @@ struct Cli {
     }
     return cli;
   }
+
+  [[nodiscard]] bool observability_requested() const {
+    return !trace_json.empty() || !metrics_json.empty() || telemetry_period_ms > 0.0;
+  }
+
+  /// Enables capture on `cfg` if requested and not yet consumed by an
+  /// earlier experiment of this process.
+  void apply_observability(core::ExperimentConfig& cfg) const {
+    if (captured_ || !observability_requested()) {
+      return;
+    }
+    cfg.obs.trace = !trace_json.empty();
+    cfg.obs.metrics = !metrics_json.empty();
+    cfg.obs.telemetry_period_ms =
+        telemetry_period_ms > 0.0 ? telemetry_period_ms : (trace_json.empty() ? 0.0 : 10.0);
+  }
+
+  /// Writes the capture files the first time a result carries them.
+  void maybe_export(const core::ExperimentResult& result) const {
+    if (captured_ || result.observability == nullptr) {
+      return;
+    }
+    captured_ = true;
+    const core::ObservabilityData& data = *result.observability;
+    if (!trace_json.empty()) {
+      std::ofstream os{trace_json};
+      core::ObservabilityData const& d = data;
+      greencap::obs::ChromeTraceOptions opts;
+      opts.telemetry = &d.telemetry;
+      opts.worker_names = d.worker_names;
+      greencap::obs::write_chrome_trace(os, d.trace, opts);
+      std::cerr << "wrote trace: " << trace_json << "\n";
+    }
+    if (!metrics_json.empty()) {
+      std::ofstream os{metrics_json};
+      data.metrics.write_json(os);
+      std::cerr << "wrote metrics: " << metrics_json << "\n";
+    }
+  }
+
+ private:
+  mutable bool captured_ = false;
 };
 
 inline void emit(const core::Table& table, const Cli& cli, const std::string& title) {

@@ -16,7 +16,12 @@ int main(int argc, char** argv) {
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
   const auto base = core::run_experiment(bench::experiment_for(row, "HHHH"));
   const auto bbbb = core::run_experiment(bench::experiment_for(row, "BBBB"));
-  const auto hhbb = core::run_experiment(bench::experiment_for(row, "HHBB"));
+  // With --trace-json etc. the HHBB run (the paper's subset-capping case)
+  // is the one captured: the unbalanced schedule is the interesting one.
+  core::ExperimentConfig hhbb_cfg = bench::experiment_for(row, "HHBB");
+  cli.apply_observability(hhbb_cfg);
+  const auto hhbb = core::run_experiment(hhbb_cfg);
+  cli.maybe_export(hhbb);
 
   core::Table headline{{"finding", "efficiency gain % (ours)", "paper", "slowdown % (ours)",
                         "paper"}};

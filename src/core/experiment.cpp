@@ -81,6 +81,9 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   power::PowerManager manager{platform, simulator};
   manager.resolve_best_caps(config.precision, config.nb);
 
+  // Observability artifacts outlive the runtime via the result.
+  auto obs_data = config.obs.any() ? std::make_shared<ObservabilityData>() : nullptr;
+
   rt::RuntimeOptions options;
   options.scheduler = config.scheduler;
   options.execute_kernels = config.execute_kernels;
@@ -88,7 +91,27 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   // The stale-model ablation also freezes online learning; otherwise the
   // history model would heal itself after one task per worker.
   options.update_perf_model = !config.stale_models;
+  options.enable_trace = config.obs.trace;
+  if (obs_data != nullptr) {
+    if (config.obs.metrics) {
+      options.metrics = &obs_data->metrics;
+    }
+    if (config.obs.decision_log) {
+      options.decision_log = &obs_data->decisions;
+    }
+  }
   rt::Runtime runtime{platform, simulator, options};
+  obs::TelemetrySampler sampler;
+  if (obs_data != nullptr) {
+    manager.set_metrics(options.metrics);
+    if (config.obs.trace) {
+      manager.set_trace(&runtime.trace(), &simulator);
+    }
+    if (config.obs.telemetry_period_ms > 0.0) {
+      obs::attach_platform_channels(sampler, platform);
+      runtime.register_telemetry(sampler);
+    }
+  }
 
   la::Codelets<T> codelets;
   la::LuCodelets<T> lu_codelets;
@@ -135,6 +158,12 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
 
   ExperimentResult result;
   result.config = config;
+  // Arm telemetry only around the measured operation, mirroring the
+  // counter-read-at-start/end energy methodology: calibration activity
+  // stays out of the profile.
+  if (config.obs.telemetry_period_ms > 0.0) {
+    sampler.start(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
+  }
   switch (config.op) {
     case Operation::kGemm: {
       la::TileMatrix<T> b{config.n, config.nb, allocate, "B"};
@@ -200,7 +229,14 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
       break;
     }
   }
+  sampler.stop();
   result.stats = runtime.stats();
+  if (obs_data != nullptr) {
+    obs_data->trace = runtime.trace();
+    obs_data->telemetry = sampler.series();
+    obs_data->worker_names = runtime.worker_names();
+    result.observability = std::move(obs_data);
+  }
   return result;
 }
 
@@ -218,6 +254,13 @@ void finalize_metrics(ExperimentResult& result) {
     } else {
       result.cpu_tasks += w.tasks;
     }
+  }
+  if (result.observability != nullptr && config.obs.metrics) {
+    obs::MetricsRegistry& reg = result.observability->metrics;
+    reg.gauge("exp.time_s").set(result.time_s);
+    reg.gauge("exp.gflops").set(result.gflops);
+    reg.gauge("exp.energy_j").set(result.total_energy_j);
+    reg.gauge("exp.efficiency_gflops_per_w").set(result.efficiency_gflops_per_w);
   }
 }
 

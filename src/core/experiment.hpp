@@ -15,13 +15,19 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "hw/kernel_work.hpp"
 #include "hw/platform.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "power/config.hpp"
 #include "rt/runtime.hpp"
+#include "sim/trace.hpp"
 
 namespace greencap::core {
 
@@ -35,6 +41,33 @@ enum class Operation : std::uint8_t { kGemm, kPotrf, kGetrf, kGeqrf, kGelqf };
 struct CpuCap {
   std::size_t package = 0;
   double fraction_of_tdp = 1.0;
+};
+
+/// Which observability features to enable for a run. Everything defaults
+/// to off: sweeps run thousands of experiments and must stay lean.
+struct ObservabilityOptions {
+  /// Record execution/transfer spans and cap-change markers.
+  bool trace = false;
+  /// Register runtime/power metrics (counters, histograms).
+  bool metrics = false;
+  /// Log every scheduling decision with model expectations vs. reality.
+  bool decision_log = false;
+  /// Virtual-time telemetry sampling period; 0 disables the sampler.
+  double telemetry_period_ms = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return trace || metrics || decision_log || telemetry_period_ms > 0.0;
+  }
+};
+
+/// Observability artifacts of one run, detached from the (destroyed)
+/// platform and runtime so they can be exported after run_experiment().
+struct ObservabilityData {
+  sim::Trace trace;
+  obs::MetricsRegistry metrics;
+  obs::TelemetrySeries telemetry;
+  obs::DecisionLog decisions;
+  std::vector<std::string> worker_names;  ///< trace-export row labels
 };
 
 struct ExperimentConfig {
@@ -59,6 +92,8 @@ struct ExperimentConfig {
   bool stale_models = false;
   /// Run kernels numerically (small problems only).
   bool execute_kernels = false;
+  /// Optional tracing/metrics/telemetry capture (all off by default).
+  ObservabilityOptions obs;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -74,6 +109,8 @@ struct ExperimentResult {
   /// Tasks executed by CPU vs GPU workers (Fig. 5's shift under capping).
   std::uint64_t cpu_tasks = 0;
   std::uint64_t gpu_tasks = 0;
+  /// Populated iff config.obs.any(); shared so results stay copyable.
+  std::shared_ptr<ObservabilityData> observability;
 
   /// Percent performance change vs. a baseline (positive = speedup).
   [[nodiscard]] double perf_delta_pct(const ExperimentResult& baseline) const;

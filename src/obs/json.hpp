@@ -1,0 +1,61 @@
+// Tiny JSON-writing helpers shared by the observability exporters.
+//
+// The exporters (metrics registry, telemetry series, Chrome trace) emit
+// JSON by hand — the format is flat and the writers are hot enough that a
+// DOM library would be overkill — but string escaping and non-finite
+// doubles must be handled once, correctly, here.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace greencap::obs {
+
+/// Appends `s` to `out` as a JSON string literal (quotes included),
+/// escaping quotes, backslashes and control characters per RFC 8259.
+inline void json_append_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+[[nodiscard]] inline std::string json_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  json_append_string(out, s);
+  return out;
+}
+
+/// Formats a double as a valid JSON number. JSON has no inf/nan tokens;
+/// non-finite values degrade to null (the convention Perfetto accepts).
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace greencap::obs

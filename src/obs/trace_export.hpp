@@ -1,0 +1,39 @@
+// Chrome/Perfetto trace-event export.
+//
+// Renders a sim::Trace (task/transfer spans + instant markers) and an
+// optional telemetry series into the Trace Event JSON format understood
+// by chrome://tracing and https://ui.perfetto.dev: complete events ("X")
+// on one row per worker, transfer rows per link, global instant events
+// ("i") for power-cap changes, and counter tracks ("C") for the telemetry
+// channels (per-GPU power, busy workers, ready-queue depth, ...).
+//
+// Layout:
+//   pid 1 "workers"   — tid = worker id, task execution spans
+//   pid 2 "links"     — tid = GPU index, host<->device transfer spans
+//   pid 3 "telemetry" — counter tracks
+// Timestamps are virtual time in microseconds, as the format requires.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace greencap::obs {
+
+class TelemetrySeries;
+
+struct ChromeTraceOptions {
+  /// Optional telemetry series rendered as counter tracks.
+  const TelemetrySeries* telemetry = nullptr;
+  /// Optional labels for worker rows, indexed by worker id (falls back to
+  /// "worker<i>").
+  std::vector<std::string> worker_names;
+};
+
+/// Writes the complete JSON document ({"traceEvents": [...], ...}).
+void write_chrome_trace(std::ostream& os, const sim::Trace& trace,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace greencap::obs

@@ -1,8 +1,25 @@
 #include "power/dynamic.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace greencap::power {
+
+namespace {
+
+/// Mid-run cap changes are the events the trace markers exist for: the
+/// Perfetto export renders them as global instants over the worker rows.
+void mark_cap_change(rt::Runtime& runtime, std::size_t gpu, double watts) {
+  sim::Trace& trace = runtime.trace();
+  if (!trace.enabled()) {
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "power_cap gpu%zu %.0fW", gpu, watts);
+  trace.add_marker(buf, runtime.simulator().now());
+}
+
+}  // namespace
 
 DynamicCapController::DynamicCapController(rt::Runtime& runtime, rt::Calibrator* calibrator,
                                            DynamicCapOptions options)
@@ -39,6 +56,7 @@ void DynamicCapController::apply_fraction(double fraction) {
   for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
     hw::GpuModel& gpu = platform.gpu(g);
     gpu.set_power_cap(fraction * gpu.spec().tdp_w, now);  // model clamps to range
+    mark_cap_change(runtime_, g, gpu.power_cap());
   }
   if (options_.recalibrate && calibrator_ != nullptr) {
     calibrator_->recalibrate_all();
@@ -117,6 +135,7 @@ void DynamicCapController::tick_per_gpu() {
     state.fraction = std::clamp(state.fraction + state.direction * state.step, 0.0, 1.0);
     hw::GpuModel& gpu = platform.gpu(g);
     gpu.set_power_cap(state.fraction * gpu.spec().tdp_w, now);
+    mark_cap_change(runtime_, g, gpu.power_cap());
     any_moved = true;
   }
   if (any_moved) {

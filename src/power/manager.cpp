@@ -1,6 +1,7 @@
 #include "power/manager.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -55,6 +56,21 @@ void PowerManager::apply(const GpuConfig& config) {
       throw std::runtime_error("PowerManager: NVML rejected limit " + std::to_string(watts) +
                                " W on GPU " + std::to_string(g));
     }
+    note_cap_change("gpu" + std::to_string(g), watts);
+    if (metrics_ != nullptr) {
+      metrics_->counter("power.gpu_cap_changes").inc();
+    }
+  }
+}
+
+void PowerManager::note_cap_change(const std::string& device, double watts) {
+  if (metrics_ != nullptr) {
+    metrics_->gauge("power.cap_w." + device).set(watts);
+  }
+  if (trace_ != nullptr && trace_sim_ != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "power_cap %s %.0fW", device.c_str(), watts);
+    trace_->add_marker(buf, trace_sim_->now());
   }
 }
 
@@ -65,6 +81,10 @@ void PowerManager::cap_cpu(std::size_t package, double fraction_of_tdp) {
   rapl::Package& pkg = rapl_.package(package);
   const double tdp = platform_.cpu(package).spec().tdp_w;
   pkg.set_power_limit_uw(static_cast<std::uint64_t>(std::llround(tdp * fraction_of_tdp * 1e6)));
+  note_cap_change("cpu" + std::to_string(package), tdp * fraction_of_tdp);
+  if (metrics_ != nullptr) {
+    metrics_->counter("power.cpu_cap_changes").inc();
+  }
 }
 
 void PowerManager::reset() {

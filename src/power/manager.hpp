@@ -10,10 +10,12 @@
 #include "hw/kernel_work.hpp"
 #include "hw/platform.hpp"
 #include "nvml/nvml.hpp"
+#include "obs/metrics.hpp"
 #include "power/config.hpp"
 #include "power/sweep.hpp"
 #include "rapl/rapl.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 
 namespace greencap::power {
 
@@ -46,11 +48,29 @@ class PowerManager {
 
   [[nodiscard]] std::size_t gpu_count() const { return nvml_.device_count(); }
 
+  // -- observability (optional, not owned) ---------------------------------
+
+  /// Counts cap changes into `metrics` ("power.gpu_cap_changes",
+  /// "power.cpu_cap_changes") and mirrors the applied caps as gauges.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Adds a "power_cap gpuN <W>W" / "power_cap cpuN <W>W" instant marker
+  /// to `trace` for every applied limit (rendered in the Perfetto export).
+  void set_trace(sim::Trace* trace, const sim::Simulator* sim) {
+    trace_ = trace;
+    trace_sim_ = sim;
+  }
+
  private:
+  void note_cap_change(const std::string& device, double watts);
+
   hw::Platform& platform_;
   nvml::Context nvml_;
   rapl::Session rapl_;
   std::vector<std::optional<double>> best_cap_w_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  sim::Trace* trace_ = nullptr;
+  const sim::Simulator* trace_sim_ = nullptr;
 };
 
 }  // namespace greencap::power

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "sim/log.hpp"
 
 namespace greencap::rt {
@@ -19,6 +20,14 @@ Runtime::Runtime(hw::Platform& platform, sim::Simulator& sim, RuntimeOptions opt
   trace_.enable(options_.enable_trace);
   build_workers();
   scheduler_->attach(*this);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    m_tasks_submitted_ = &reg.counter("rt.tasks_submitted");
+    m_tasks_completed_ = &reg.counter("rt.tasks_completed");
+    m_transfers_ = &reg.counter("rt.transfers");
+    m_bytes_transferred_ = &reg.counter("rt.bytes_transferred");
+    reg.gauge("rt.workers").set(static_cast<double>(workers_.size()));
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -89,6 +98,9 @@ TaskId Runtime::submit(TaskDesc desc) {
   task->arg = std::move(desc.arg);
   Task& ref = *task;
   tasks_.push_back(std::move(task));
+  if (m_tasks_submitted_ != nullptr) {
+    m_tasks_submitted_->inc();
+  }
 
   std::int32_t pending =
       deps_.register_task(ref, [this](TaskId tid) { return tasks_[tid].get(); });
@@ -163,6 +175,10 @@ sim::SimTime Runtime::stage_data(Task& task, Worker& worker) {
     link_free_[gpu_index] = done;
     worker.transfer_seconds += duration.sec();
     worker.bytes_transferred += bytes;
+    if (m_transfers_ != nullptr) {
+      m_transfers_->inc();
+      m_bytes_transferred_->inc(bytes);
+    }
     if (trace_.enabled()) {
       trace_.add_span({sim::SpanKind::kTransfer, static_cast<std::int32_t>(1000 + gpu_index),
                        task.id(), "xfer:" + task.label, start, done});
@@ -210,6 +226,30 @@ sim::SimTime Runtime::stage_data(Task& task, Worker& worker) {
   return ready;
 }
 
+void Runtime::record_decision(Task& task, Worker& worker) {
+  obs::Decision decision;
+  decision.task = task.id();
+  decision.codelet = task.codelet().name;
+  decision.worker_arch = worker.arch() == WorkerArch::kCuda ? "cuda" : "cpu";
+  decision.chosen_worker = worker.id();
+  decision.decided_at = sim_.now();
+  decision.queue_wait_s = (sim_.now() - task.ready_at).sec();
+  decision.expected_exec_s = estimate_exec(task, worker).sec();
+  decision.alternatives.reserve(workers_.size());
+  for (Worker& candidate : workers_) {
+    if (!worker_can_run(task, candidate)) {
+      continue;
+    }
+    obs::DecisionAlternative alt;
+    alt.worker = candidate.id();
+    alt.expected_exec_s = estimate_exec(task, candidate).sec();
+    alt.expected_transfer_s = estimate_transfer(task, candidate).sec();
+    alt.expected_energy_j = estimate_energy(task, candidate);
+    decision.alternatives.push_back(alt);
+  }
+  task.decision_index = static_cast<std::int64_t>(options_.decision_log->add(std::move(decision)));
+}
+
 sim::SimTime Runtime::actual_exec_time(Task& task, const Worker& worker) {
   sim::SimTime t = oracle_exec_time(task.codelet(), task.work(), worker);
   if (options_.exec_noise_rel > 0.0) {
@@ -239,6 +279,9 @@ void Runtime::try_start(Worker& worker) {
   assert(task->state == TaskState::kQueued);
   task->assigned_worker = worker.id();
   worker.busy = true;
+  if (options_.decision_log != nullptr) {
+    record_decision(*task, worker);
+  }
 
   const sim::SimTime transfers_done =
       std::max(stage_data(*task, worker), task->data_ready_at);
@@ -309,6 +352,18 @@ void Runtime::finish_task(Task& task, Worker& worker) {
   worker.busy_seconds += (task.end_time - task.start_time).sec();
   worker.flops_done += task.work().flops;
 
+  const double exec_s = (task.end_time - task.start_time).sec();
+  if (options_.decision_log != nullptr && task.decision_index >= 0) {
+    options_.decision_log->realize(static_cast<std::size_t>(task.decision_index), exec_s);
+  }
+  if (m_tasks_completed_ != nullptr) {
+    m_tasks_completed_->inc();
+    obs::MetricsRegistry& reg = *options_.metrics;
+    reg.histogram("rt.exec_s." + task.codelet().name).observe(exec_s);
+    reg.histogram("rt.queue_wait_s." + task.codelet().name)
+        .observe((task.start_time - task.ready_at).sec());
+  }
+
   for (TaskId succ_id : task.successors) {
     Task& succ = *tasks_[succ_id];
     assert(succ.unresolved_deps > 0);
@@ -323,6 +378,14 @@ void Runtime::finish_task(Task& task, Worker& worker) {
   // worker can take (shared-queue policies), so poke the others too.
   if (scheduler_->has_pending()) {
     wake_all_idle();
+  }
+
+  // Close the telemetry window the instant the DAG drains: the sampler's
+  // final row lands exactly at the makespan and its pending tick is
+  // cancelled, so sampling never extends the simulated timeline (and the
+  // run's energy accounting stays bit-identical to an unobserved run).
+  if (telemetry_ != nullptr && tasks_completed_ == tasks_.size() && telemetry_->running()) {
+    telemetry_->stop();
   }
 }
 
@@ -427,6 +490,39 @@ double Runtime::locality_fraction(const Task& task, const Worker& worker) {
     }
   }
   return total == 0 ? 1.0 : static_cast<double>(resident) / static_cast<double>(total);
+}
+
+void Runtime::register_telemetry(obs::TelemetrySampler& sampler) {
+  sampler.add_channel("rt.workers_busy", "workers", [this](sim::SimTime) {
+    double busy = 0.0;
+    for (const Worker& w : workers_) {
+      busy += w.busy ? 1.0 : 0.0;
+    }
+    return busy;
+  });
+  sampler.add_channel("rt.cuda_workers_busy", "workers", [this](sim::SimTime) {
+    double busy = 0.0;
+    for (const Worker& w : workers_) {
+      busy += (w.busy && w.arch() == WorkerArch::kCuda) ? 1.0 : 0.0;
+    }
+    return busy;
+  });
+  sampler.add_channel("rt.ready_tasks", "tasks", [this](sim::SimTime) {
+    return static_cast<double>(scheduler_->pending_count());
+  });
+  sampler.add_channel("rt.tasks_completed", "tasks", [this](sim::SimTime) {
+    return static_cast<double>(tasks_completed_);
+  });
+  telemetry_ = &sampler;
+}
+
+std::vector<std::string> Runtime::worker_names() const {
+  std::vector<std::string> names;
+  names.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    names.push_back(w.describe());
+  }
+  return names;
 }
 
 RuntimeStats Runtime::stats() const {

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "hw/platform.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/metrics.hpp"
 #include "rt/codelet.hpp"
 #include "rt/data_handle.hpp"
 #include "rt/dependencies.hpp"
@@ -28,6 +30,10 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+
+namespace greencap::obs {
+class TelemetrySampler;
+}
 
 namespace greencap::rt {
 
@@ -56,6 +62,14 @@ struct RuntimeOptions {
   /// Record spans into trace() (off by default: sweeps run thousands of
   /// simulations).
   bool enable_trace = false;
+  /// Optional metrics registry (not owned). When set, the runtime
+  /// registers task/transfer counters and per-codelet execution-time and
+  /// queue-wait histograms. Null keeps the hot path untouched.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional scheduler decision log (not owned). When set, every
+  /// dispatch records the chosen worker, the per-worker expected
+  /// durations/energies, and — at completion — the realized duration.
+  obs::DecisionLog* decision_log = nullptr;
 };
 
 struct TaskDesc {
@@ -144,6 +158,16 @@ class Runtime final : public SchedulerContext {
   [[nodiscard]] sim::SimTime oracle_exec_time(const Codelet& codelet, const hw::KernelWork& work,
                                               const Worker& worker) const;
 
+  // -- observability ---------------------------------------------------------
+
+  /// Registers runtime-level telemetry channels on `sampler`: number of
+  /// busy workers (total and CUDA-only), ready-queue depth, and tasks
+  /// completed. The runtime must outlive the sampler's run.
+  void register_telemetry(obs::TelemetrySampler& sampler);
+
+  /// Worker row labels for trace export, indexed by worker id.
+  [[nodiscard]] std::vector<std::string> worker_names() const;
+
   // -- SchedulerContext ------------------------------------------------------
   [[nodiscard]] std::vector<Worker>& workers() override { return workers_; }
   [[nodiscard]] sim::SimTime now() const override { return sim_.now(); }
@@ -165,6 +189,7 @@ class Runtime final : public SchedulerContext {
   void begin_execution(Task& task, Worker& worker, sim::SimTime start, sim::SimTime end);
   void finish_task(Task& task, Worker& worker);
   [[nodiscard]] sim::SimTime actual_exec_time(Task& task, const Worker& worker);
+  void record_decision(Task& task, Worker& worker);
 
   hw::Platform& platform_;
   sim::Simulator& sim_;
@@ -183,6 +208,16 @@ class Runtime final : public SchedulerContext {
   std::uint64_t tasks_completed_ = 0;
   double flops_completed_ = 0.0;
   sim::SimTime last_completion_;
+
+  // Cached metric handles (null when options_.metrics is null) so the
+  // execution path pays one pointer test, not a map lookup.
+  obs::Counter* m_tasks_submitted_ = nullptr;
+  obs::Counter* m_tasks_completed_ = nullptr;
+  obs::Counter* m_transfers_ = nullptr;
+  obs::Counter* m_bytes_transferred_ = nullptr;
+  /// Sampler to close out when the last task retires; set by
+  /// register_telemetry, never owned.
+  obs::TelemetrySampler* telemetry_ = nullptr;
 };
 
 }  // namespace greencap::rt

@@ -66,6 +66,11 @@ class Scheduler {
   /// Any task waiting anywhere in this policy's queues?
   [[nodiscard]] virtual bool has_pending() const = 0;
 
+  /// Number of tasks waiting in this policy's queues (telemetry's
+  /// ready-queue depth). The default lower-bounds it from has_pending();
+  /// the built-in policies all report exact counts.
+  [[nodiscard]] virtual std::size_t pending_count() const { return has_pending() ? 1 : 0; }
+
  protected:
   SchedulerContext& ctx() { return *ctx_; }
 
@@ -80,6 +85,7 @@ class EagerScheduler final : public Scheduler {
   WorkerId push_ready(Task& task) override;
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return !fifo_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const override { return fifo_.size(); }
 
  private:
   std::deque<Task*> fifo_;
@@ -93,6 +99,7 @@ class RandomScheduler final : public Scheduler {
   WorkerId push_ready(Task& task) override;
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
+  [[nodiscard]] std::size_t pending_count() const override { return pending_; }
 
  private:
   std::size_t pending_ = 0;
@@ -105,6 +112,7 @@ class WorkStealingScheduler : public Scheduler {
   WorkerId push_ready(Task& task) override;
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
+  [[nodiscard]] std::size_t pending_count() const override { return pending_; }
 
  protected:
   /// lws steals from the victim with the best data locality instead of
@@ -134,6 +142,7 @@ class PrioScheduler final : public Scheduler {
   WorkerId push_ready(Task& task) override;
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const override { return queue_.size(); }
 
  private:
   std::deque<Task*> queue_;  // kept sorted by priority, descending
@@ -147,6 +156,7 @@ class DmScheduler : public Scheduler {
   WorkerId push_ready(Task& task) override;
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
+  [[nodiscard]] std::size_t pending_count() const override { return pending_; }
 
  protected:
   /// Whether transfer estimates join the completion-time objective (dmda+).

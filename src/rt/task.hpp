@@ -62,6 +62,8 @@ class Task {
   sim::SimTime data_ready_at;
   sim::SimTime start_time;
   sim::SimTime end_time;
+  /// Index into the observability decision log, -1 when logging is off.
+  std::int64_t decision_index = -1;
 
  private:
   TaskId id_;

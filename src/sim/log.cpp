@@ -1,5 +1,7 @@
 #include "sim/log.hpp"
 
+#include <cstdarg>
+
 namespace greencap::sim {
 
 namespace {
@@ -21,6 +23,31 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::logf(LogLevel level, const char* fmt, ...) {
+  if (level < level_) return;
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args2);
+    log(level, fmt);  // encoding error: fall back to the raw format string
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof buf) {
+    va_end(args2);
+    log(level, buf);
+    return;
+  }
+  std::string big(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(big.data(), big.size() + 1, fmt, args2);
+  va_end(args2);
+  log(level, big);
+}
 
 void Logger::log(LogLevel level, const std::string& msg) {
   if (level < level_) return;

@@ -26,13 +26,13 @@ class Logger {
 
   void log(LogLevel level, const std::string& msg);
 
-  template <typename... Args>
-  void logf(LogLevel level, const char* fmt, Args... args) {
-    if (level < level_) return;
-    char buf[512];
-    std::snprintf(buf, sizeof buf, fmt, args...);
-    log(level, buf);
-  }
+  /// printf-style log. Messages longer than the 512-byte fast path are
+  /// heap-formatted rather than truncated.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 3, 4)))  // arg 1 is the implicit `this`
+#endif
+  void
+  logf(LogLevel level, const char* fmt, ...);
 
  private:
   Logger() = default;

@@ -1,0 +1,94 @@
+#include "obs/decision_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace greencap::obs {
+namespace {
+
+Decision make_decision(const std::string& codelet, const std::string& arch, double expected) {
+  Decision d;
+  d.task = 1;
+  d.codelet = codelet;
+  d.worker_arch = arch;
+  d.chosen_worker = 0;
+  d.expected_exec_s = expected;
+  return d;
+}
+
+TEST(Decision, RelativeErrorAgainstRealized) {
+  Decision d = make_decision("gemm", "cuda", 0.012);
+  EXPECT_FALSE(d.realized());
+  EXPECT_DOUBLE_EQ(d.relative_error(), 0.0);
+  d.realized_exec_s = 0.010;
+  EXPECT_TRUE(d.realized());
+  EXPECT_NEAR(d.relative_error(), 0.2, 1e-12);  // expected 20 % above reality
+}
+
+TEST(DecisionLog, AddAndRealizeRoundTrip) {
+  DecisionLog log;
+  const std::size_t i = log.add(make_decision("gemm", "cuda", 0.012));
+  const std::size_t j = log.add(make_decision("syrk", "cpu", 0.4));
+  EXPECT_EQ(log.size(), 2u);
+  log.realize(i, 0.010);
+  EXPECT_TRUE(log.decisions()[i].realized());
+  EXPECT_FALSE(log.decisions()[j].realized());
+}
+
+TEST(DecisionLog, AccuracyReportGroupsByCodeletAndArch) {
+  DecisionLog log;
+  // gemm/cuda: model overestimates by 10 % then underestimates by 10 %.
+  log.realize(log.add(make_decision("gemm", "cuda", 1.1)), 1.0);
+  log.realize(log.add(make_decision("gemm", "cuda", 0.9)), 1.0);
+  // gemm/cpu: spot on.
+  log.realize(log.add(make_decision("gemm", "cpu", 2.0)), 2.0);
+  // Unrealized decision must not pollute the aggregates.
+  log.add(make_decision("gemm", "cuda", 5.0));
+
+  const auto report = log.accuracy_report();
+  ASSERT_EQ(report.size(), 2u);  // (gemm,cpu) and (gemm,cuda)
+  const ModelAccuracy* cuda = nullptr;
+  const ModelAccuracy* cpu = nullptr;
+  for (const auto& row : report) {
+    (row.arch == "cuda" ? cuda : cpu) = &row;
+  }
+  ASSERT_NE(cuda, nullptr);
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cuda->samples, 2u);
+  EXPECT_NEAR(cuda->mean_rel_error, 0.1, 1e-12);     // |±10 %| averages to 10 %
+  EXPECT_NEAR(cuda->mean_signed_error, 0.0, 1e-12);  // ...but signed errors cancel
+  EXPECT_NEAR(cuda->worst_rel_error, 0.1, 1e-12);
+  EXPECT_EQ(cpu->samples, 1u);
+  EXPECT_NEAR(cpu->mean_rel_error, 0.0, 1e-12);
+
+  EXPECT_NEAR(log.overall_mean_rel_error(), 0.2 / 3.0, 1e-12);
+}
+
+TEST(DecisionLog, JsonListsDecisionsWithAlternatives) {
+  DecisionLog log;
+  Decision d = make_decision("gemm", "cuda", 0.012);
+  d.alternatives.push_back({0, 0.012, 0.001, 3.5});
+  d.alternatives.push_back({4, 0.300, 0.0, 9.0});
+  log.realize(log.add(d), 0.011);
+  std::ostringstream oss;
+  log.write_json(oss);
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("\"decisions\""), std::string::npos);
+  EXPECT_NE(json.find("\"codelet\": \"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"alternatives\""), std::string::npos);
+  EXPECT_NE(json.find("0.012"), std::string::npos);
+  EXPECT_NE(json.find("0.011"), std::string::npos);
+}
+
+TEST(DecisionLog, PrintAccuracyRendersTable) {
+  DecisionLog log;
+  log.realize(log.add(make_decision("potrf", "cuda", 0.02)), 0.025);
+  std::ostringstream oss;
+  log.print_accuracy(oss);
+  EXPECT_NE(oss.str().find("potrf"), std::string::npos);
+  EXPECT_NE(oss.str().find("cuda"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greencap::obs

@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace greencap::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(10.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST(Histogram, BucketsObservations) {
+  Histogram h{{1.0, 10.0, 100.0}};
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (upper edge inclusive)
+  h.observe(5.0);   // <= 10
+  h.observe(1000);  // overflow
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.5 / 4.0);
+}
+
+TEST(Histogram, DefaultDurationBucketsCoverKernelToFactorization) {
+  Histogram h{{}};
+  EXPECT_FALSE(h.bounds().empty());
+  EXPECT_LE(h.bounds().front(), 1e-6);
+  EXPECT_GE(h.bounds().back(), 100.0);
+  for (std::size_t i = 1; i < h.bounds().size(); ++i) {
+    EXPECT_LT(h.bounds()[i - 1], h.bounds()[i]);
+  }
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({3.0, 1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("rt.tasks");
+  a.inc();
+  Counter& b = reg.counter("rt.tasks");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveLaterInsertions) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("a");
+  // Churn the map: references must stay valid (node-based storage).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("churn" + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  EXPECT_EQ(reg.find_counter("a")->value(), 7u);
+}
+
+TEST(MetricsRegistry, FindReturnsNullForMissing) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(MetricsRegistry, JsonContainsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("rt.tasks_completed").inc(3);
+  reg.gauge("power.cap_w.gpu0").set(216.0);
+  reg.histogram("rt.exec_s.gemm", {0.01, 0.1}).observe(0.05);
+  std::ostringstream oss;
+  reg.write_json(oss);
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"rt.tasks_completed\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"power.cap_w.gpu0\": 216"), std::string::npos);
+  EXPECT_NE(json.find("\"rt.exec_s.gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ClearEmptiesEverything) {
+  MetricsRegistry reg;
+  reg.counter("a");
+  reg.gauge("b");
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+}  // namespace
+}  // namespace greencap::obs

@@ -1,0 +1,189 @@
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hw/platform.hpp"
+#include "hw/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace greencap::obs {
+namespace {
+
+/// Keeps the simulator busy until `end` so the sampler has activity to
+/// bracket (it disarms itself once the queue drains).
+void keep_alive_until(sim::Simulator& sim, double end_s, double step_s = 0.0101) {
+  for (double t = step_s; t < end_s; t += step_s) {
+    sim.at(sim::SimTime::seconds(t), [] {});
+  }
+  sim.at(sim::SimTime::seconds(end_s), [] {});
+}
+
+TEST(TelemetrySampler, SamplesAtConfiguredPeriod) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  sampler.add_channel("t_ms", "ms", [](sim::SimTime now) { return now.sec() * 1e3; });
+  keep_alive_until(sim, 0.100);
+  sampler.start(sim, sim::SimTime::millis(10));
+  sim.run();
+  sampler.stop();
+
+  const TelemetrySeries& series = sampler.series();
+  ASSERT_EQ(series.channels().size(), 1u);
+  EXPECT_EQ(series.channels()[0].name, "t_ms");
+  // Initial sample at t=0 plus one every 10 ms over a 100 ms run.
+  ASSERT_GE(series.samples().size(), 10u);
+  EXPECT_DOUBLE_EQ(series.samples()[0].t.sec(), 0.0);
+  EXPECT_NEAR(series.samples()[1].t.sec(), 0.010, 1e-12);
+  EXPECT_DOUBLE_EQ(series.samples()[1].values[0], 10.0);
+}
+
+TEST(TelemetrySampler, DisarmsWhenQueueDrains) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  sampler.add_channel("one", "", [](sim::SimTime) { return 1.0; });
+  sim.after(sim::SimTime::millis(5), [] {});
+  sampler.start(sim, sim::SimTime::millis(1));
+  // If the sampler re-armed unconditionally this would never return.
+  sim.run();
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.series().samples().size(), 2u);
+}
+
+TEST(TelemetrySampler, StopRecordsFinalPartialIntervalAndCancelsTick) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  sampler.add_channel("one", "", [](sim::SimTime) { return 1.0; });
+  keep_alive_until(sim, 0.0155);  // not a multiple of the 10 ms period
+  sampler.start(sim, sim::SimTime::millis(10));
+  sim.run_until(sim::SimTime::seconds(0.0155));
+  sampler.stop();
+  const auto& samples = sampler.series().samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_NEAR(samples.back().t.sec(), 0.0155, 1e-12);
+  // Constant channel: right-rectangle integral = value * window length.
+  EXPECT_NEAR(sampler.series().integrate(0), 0.0155, 1e-12);
+  // stop() cancelled the re-armed tick: nothing fires past the stop point.
+  const std::size_t rows = samples.size();
+  sim.run();
+  EXPECT_EQ(sampler.series().samples().size(), rows);
+}
+
+TEST(TelemetrySampler, StopWithoutStartIsSafe) {
+  TelemetrySampler sampler;
+  sampler.stop();
+  EXPECT_TRUE(sampler.series().empty());
+}
+
+TEST(TelemetrySampler, RejectsNonPositivePeriod) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  EXPECT_THROW(sampler.start(sim, sim::SimTime::zero()), std::invalid_argument);
+}
+
+// The pattern the platform power channels rely on: a channel reporting
+// delta(E)/delta(t) of any cumulative quantity integrates back to exactly
+// the total delta, at any sampling period and phase.
+TEST(TelemetrySeries, IntervalAverageChannelTelescopes) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  auto energy = [](double t) { return 100.0 * t + 40.0 * t * t; };  // ramping power
+  double prev_t = 0.0;
+  sampler.add_channel("power", "W", [energy, prev_t](sim::SimTime now) mutable {
+    const double t = now.sec();
+    const double watts = t > prev_t ? (energy(t) - energy(prev_t)) / (t - prev_t) : 100.0;
+    prev_t = t;
+    return watts;
+  });
+  keep_alive_until(sim, 0.250, 0.0173);  // deliberately incommensurate
+  sampler.start(sim, sim::SimTime::millis(7));
+  sim.run();
+  sampler.stop();
+  // The last tick may land up to one period past the last event; the
+  // integral telescopes to the cumulative total at that instant exactly.
+  const double t_end = sampler.series().samples().back().t.sec();
+  EXPECT_GE(t_end, 0.250);
+  EXPECT_NEAR(sampler.series().integrate(0), energy(t_end), 1e-9);
+}
+
+TEST(TelemetrySeries, ChannelIndexAndMax) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  sampler.add_channel("a", "", [](sim::SimTime) { return 1.0; });
+  sampler.add_channel("b", "", [](sim::SimTime now) { return now.sec(); });
+  keep_alive_until(sim, 0.02);
+  sampler.start(sim, sim::SimTime::millis(5));
+  sim.run();
+  sampler.stop();
+  const TelemetrySeries& series = sampler.series();
+  EXPECT_EQ(series.channel_index("b"), 1);
+  EXPECT_EQ(series.channel_index("zzz"), -1);
+  EXPECT_NEAR(series.max_value(1), 0.02, 1e-12);
+}
+
+TEST(TelemetrySeries, JsonAndCsvExports) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  sampler.add_channel("gpu0.power_w", "W", [](sim::SimTime) { return 250.0; });
+  keep_alive_until(sim, 0.01);
+  sampler.start(sim, sim::SimTime::millis(5));
+  sim.run();
+  sampler.stop();
+
+  std::ostringstream json;
+  sampler.series().write_json(json);
+  EXPECT_NE(json.str().find("\"gpu0.power_w\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"unit\": \"W\""), std::string::npos);
+  EXPECT_NE(json.str().find("250"), std::string::npos);
+
+  std::ostringstream csv;
+  sampler.series().write_csv(csv);
+  EXPECT_EQ(csv.str().rfind("time_s,gpu0.power_w\n", 0), 0u);
+  EXPECT_NE(csv.str().find(",250"), std::string::npos);
+}
+
+// Platform channels: the rectangle integral of each power channel must
+// reproduce the exact energy meters, not just approximate them.
+TEST(PlatformChannels, PowerIntegralMatchesEnergyMeters) {
+  hw::Platform platform{hw::presets::platform_32_amd_4_a100()};
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  attach_platform_channels(sampler, platform);
+
+  // A cap change partway through makes the draw time-varying.
+  sim.at(sim::SimTime::millis(40), [&] {
+    platform.gpu(0).set_power_cap(0.5 * platform.gpu(0).spec().tdp_w, sim.now());
+  });
+  keep_alive_until(sim, 0.100, 0.0137);
+  sampler.start(sim, sim::SimTime::millis(9));  // incommensurate with events
+  sim.run();
+  sampler.stop();
+
+  const hw::EnergyReading reading = platform.read_energy(sim.now());
+  const TelemetrySeries& series = sampler.series();
+  for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
+    const auto chan = series.channel_index("gpu" + std::to_string(g) + ".power_w");
+    ASSERT_GE(chan, 0);
+    const double integral = series.integrate(static_cast<std::size_t>(chan));
+    EXPECT_NEAR(integral, reading.gpu_joules[g], 1e-6 + 0.001 * reading.gpu_joules[g]) << "gpu" << g;
+    EXPECT_GT(integral, 0.0);  // idle draw is nonzero
+  }
+  for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
+    const auto chan = series.channel_index("cpu" + std::to_string(p) + ".power_w");
+    ASSERT_GE(chan, 0);
+    EXPECT_NEAR(series.integrate(static_cast<std::size_t>(chan)), reading.cpu_joules[p],
+                1e-6 + 0.001 * reading.cpu_joules[p])
+        << "cpu" << p;
+  }
+  // The cumulative-energy channels end at the meter readings too.
+  const auto e0 = series.channel_index("gpu0.energy_j");
+  ASSERT_GE(e0, 0);
+  EXPECT_NEAR(series.samples().back().values[static_cast<std::size_t>(e0)],
+              reading.gpu_joules[0], 1e-9);
+}
+
+}  // namespace
+}  // namespace greencap::obs

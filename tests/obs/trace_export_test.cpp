@@ -1,0 +1,218 @@
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace greencap::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A strict RFC 8259 syntax checker, small enough to live in the test. It
+// validates structure only (no semantics): if this accepts the document,
+// chrome://tracing and Perfetto's JSON importer will parse it.
+class JsonValidator {
+ public:
+  static bool valid(const std::string& text) {
+    JsonValidator v{text};
+    v.skip_ws();
+    if (!v.value()) return false;
+    v.skip_ws();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_{text} {}
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) return false;
+    }
+    return true;
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return false;
+            ++pos_;
+          }
+        } else if (std::string{"\"\\/bfnrt"}.find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // no leading zeros
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      return false;
+    }
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return true;
+  }
+  bool value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonValidatorSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidator::valid(R"({"a": [1, 2.5, -3e-2], "b": "x\"y", "c": null})"));
+  EXPECT_FALSE(JsonValidator::valid(R"({"a": })"));
+  EXPECT_FALSE(JsonValidator::valid(R"({"a": 1,})"));
+  EXPECT_FALSE(JsonValidator::valid(R"({"a": 1} extra)"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\": \"raw\nnewline\"}"));
+}
+// ---------------------------------------------------------------------------
+
+sim::Trace sample_trace() {
+  sim::Trace trace;
+  trace.enable();
+  trace.add_span({sim::SpanKind::kTask, 0, 7, "gemm,tile(1,2)", sim::SimTime::millis(1),
+                  sim::SimTime::millis(3)});
+  trace.add_span({sim::SpanKind::kTask, 1, 8, "syrk \"odd\"", sim::SimTime::millis(2),
+                  sim::SimTime::millis(4)});
+  trace.add_span({sim::SpanKind::kTransfer, 1000, 7, "xfer:A(0,0)", sim::SimTime::millis(0),
+                  sim::SimTime::millis(1)});
+  trace.add_marker("power_cap gpu0 216W", sim::SimTime::millis(2));
+  return trace;
+}
+
+TEST(ChromeTrace, ProducesValidJson) {
+  const sim::Trace trace = sample_trace();
+  std::ostringstream oss;
+  write_chrome_trace(oss, trace);
+  EXPECT_TRUE(JsonValidator::valid(oss.str())) << oss.str();
+}
+
+TEST(ChromeTrace, ContainsSpansMarkersAndMetadata) {
+  const sim::Trace trace = sample_trace();
+  ChromeTraceOptions options;
+  options.worker_names = {"CUDA 0 (gpu0)", "CUDA 1 (gpu1)"};
+  std::ostringstream oss;
+  write_chrome_trace(oss, trace, options);
+  const std::string json = oss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Task span: complete event, µs timestamps.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2000"), std::string::npos);
+  // Names pass through escaped, not mangled.
+  EXPECT_NE(json.find("gemm,tile(1,2)"), std::string::npos);
+  EXPECT_NE(json.find("syrk \\\"odd\\\""), std::string::npos);
+  // Marker as a global instant.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("power_cap gpu0 216W"), std::string::npos);
+  // Transfer row under the links process, de-based tid.
+  EXPECT_NE(json.find("\"pid\": 2, \"tid\": 0"), std::string::npos);
+  // Worker labels from the options.
+  EXPECT_NE(json.find("CUDA 1 (gpu1)"), std::string::npos);
+}
+
+TEST(ChromeTrace, TelemetryBecomesCounterEvents) {
+  sim::Simulator sim;
+  TelemetrySampler sampler;
+  sampler.add_channel("gpu0.power_w", "W", [](sim::SimTime) { return 250.0; });
+  sim.after(sim::SimTime::millis(2), [] {});
+  sampler.start(sim, sim::SimTime::millis(1));
+  sim.run();
+  sampler.stop();
+
+  const sim::Trace trace = sample_trace();
+  ChromeTraceOptions options;
+  options.telemetry = &sampler.series();
+  std::ostringstream oss;
+  write_chrome_trace(oss, trace, options);
+  const std::string json = oss.str();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"gpu0.power_w\""), std::string::npos);
+  EXPECT_NE(json.find("\"W\": 250"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillValid) {
+  sim::Trace trace;  // disabled, no spans
+  std::ostringstream oss;
+  write_chrome_trace(oss, trace);
+  EXPECT_TRUE(JsonValidator::valid(oss.str())) << oss.str();
+}
+
+}  // namespace
+}  // namespace greencap::obs

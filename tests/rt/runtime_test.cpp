@@ -250,6 +250,53 @@ TEST_F(RuntimeTest, TraceSpansAreDisjointPerWorker) {
   EXPECT_TRUE(rt.trace().resource_spans_disjoint());
 }
 
+TEST_F(RuntimeTest, TraceStaysConsistentUnderPrefetch) {
+  RuntimeOptions opts;
+  opts.enable_trace = true;
+  opts.prefetch = true;
+  Runtime rt = make_runtime(opts);
+  // Several large read-only handles so prefetch has transfers to overlap
+  // with execution, plus a serializing handle to mix in dependencies.
+  std::vector<DataHandle*> inputs;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(rt.register_data(64ull * 1024 * 1024));
+  }
+  DataHandle* chain = rt.register_data(1024);
+  for (int i = 0; i < 30; ++i) {
+    TaskDesc desc;
+    desc.codelet = &cuda_only_;
+    desc.work = gemm_work(2880);
+    desc.accesses = {{inputs[static_cast<std::size_t>(i) % inputs.size()], AccessMode::kRead}};
+    if (i % 5 == 0) {
+      desc.accesses.push_back({chain, AccessMode::kReadWrite});
+    }
+    rt.submit(std::move(desc));
+  }
+  rt.wait_all();
+
+  const sim::Trace& trace = rt.trace();
+  // Prefetch overlaps transfers with execution but must never overlap two
+  // task spans on one worker.
+  EXPECT_TRUE(trace.resource_spans_disjoint());
+
+  std::uint64_t task_spans = 0;
+  bool saw_transfer = false;
+  for (const sim::Span& span : trace.spans()) {
+    EXPECT_LE(span.begin, span.end);
+    if (span.kind == sim::SpanKind::kTask) {
+      ++task_spans;
+    } else if (span.kind == sim::SpanKind::kTransfer) {
+      saw_transfer = true;
+      // Transfer rows use the link-resource id space, disjoint from
+      // worker ids.
+      EXPECT_GE(span.resource, 1000);
+    }
+  }
+  EXPECT_EQ(task_spans, 30u);
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_EQ(rt.stats().tasks_completed, 30u);
+}
+
 TEST_F(RuntimeTest, StatsCountWorkPerWorker) {
   Runtime rt = make_runtime();
   for (int i = 0; i < 12; ++i) {

@@ -1,0 +1,76 @@
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace greencap::sim {
+namespace {
+
+/// Captures everything the singleton logger emits for the test's lifetime
+/// and restores the default sink/level afterwards.
+class CaptureSink {
+ public:
+  CaptureSink() {
+    saved_level_ = Logger::instance().level();
+    Logger::instance().set_level(LogLevel::kDebug);
+    Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& msg) { lines_.emplace_back(level, msg); });
+  }
+  ~CaptureSink() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(saved_level_);
+  }
+
+  [[nodiscard]] const std::vector<std::pair<LogLevel, std::string>>& lines() const {
+    return lines_;
+  }
+
+ private:
+  LogLevel saved_level_ = LogLevel::kWarn;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+TEST(Logger, FormatsShortMessages) {
+  CaptureSink capture;
+  Logger::instance().logf(LogLevel::kInfo, "gpu%d capped at %.0f W", 2, 216.0);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].first, LogLevel::kInfo);
+  EXPECT_EQ(capture.lines()[0].second, "gpu2 capped at 216 W");
+}
+
+TEST(Logger, LongMessagesAreNotTruncated) {
+  CaptureSink capture;
+  // Well past the 512-byte stack buffer.
+  const std::string payload(2000, 'x');
+  Logger::instance().logf(LogLevel::kWarn, "head %s tail", payload.c_str());
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& msg = capture.lines()[0].second;
+  EXPECT_EQ(msg.size(), payload.size() + 10);
+  EXPECT_EQ(msg.substr(0, 5), "head ");
+  EXPECT_EQ(msg.substr(msg.size() - 5), " tail");
+  EXPECT_EQ(msg.find('x'), 5u);
+}
+
+TEST(Logger, MessageExactlyAtBufferBoundary) {
+  CaptureSink capture;
+  // 511 chars fits (with NUL) in the 512 buffer; 512 chars does not.
+  for (const std::size_t len : {511u, 512u, 513u}) {
+    const std::string payload(len, 'y');
+    Logger::instance().logf(LogLevel::kError, "%s", payload.c_str());
+    EXPECT_EQ(capture.lines().back().second, payload) << "len=" << len;
+  }
+}
+
+TEST(Logger, LevelFiltersBeforeFormatting) {
+  CaptureSink capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().logf(LogLevel::kDebug, "hidden %d", 1);
+  Logger::instance().logf(LogLevel::kError, "shown %d", 2);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].second, "shown 2");
+}
+
+}  // namespace
+}  // namespace greencap::sim

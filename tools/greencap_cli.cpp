@@ -4,15 +4,21 @@
 // scriptable entry point for users who want the paper's protocol without
 // writing C++.
 //
-//   greencap --platform 32-AMD-4-A100 --op gemm --precision double \
+//   greencap --platform 32-AMD-4-A100 --op gemm --precision double
 //            --n 74880 --nb 5760 --config HHBB [--cpu-cap 1:0.48]
 //            [--scheduler dmdas] [--baseline] [--stale-models]
+//            [--trace-json FILE] [--metrics-json FILE]
+//            [--telemetry-period-ms N] [--telemetry-csv FILE]
+//            [--decisions-json FILE] [--model-report]
 //
 // With --baseline the default (all-H) run executes too and the deltas are
-// reported, like the paper's figures.
+// reported, like the paper's figures. The observability flags capture the
+// run as a Perfetto-loadable trace, a metrics snapshot, a power/occupancy
+// time-series, or a scheduler decision log (all =VALUE or space-separated).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -21,6 +27,7 @@
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
 #include "hw/presets.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace greencap;
 
@@ -39,7 +46,15 @@ namespace {
       "  --scheduler S       eager|random|ws|dm|dmda|dmdas|dmdae (default dmdas)\n"
       "  --baseline          also run all-H and print deltas\n"
       "  --stale-models      maladaptation ablation (no recalibration)\n"
-      "  --seed N            RNG seed (default 42)\n",
+      "  --seed N            RNG seed (default 42)\n"
+      "observability:\n"
+      "  --trace-json FILE        Chrome/Perfetto trace-event export\n"
+      "  --metrics-json FILE      metrics registry snapshot\n"
+      "  --telemetry-period-ms N  sample power/occupancy every N virtual ms\n"
+      "  --telemetry-json FILE    telemetry series as JSON\n"
+      "  --telemetry-csv FILE     telemetry series as CSV\n"
+      "  --decisions-json FILE    scheduler decision log\n"
+      "  --model-report           print perf-model accuracy per codelet/arch\n",
       argv0);
   std::exit(code);
 }
@@ -56,6 +71,18 @@ void print_result(const char* title, const core::ExperimentResult& r) {
               static_cast<unsigned long long>(r.cpu_tasks));
 }
 
+/// Writes `writer(os)` to `path`, or dies with a message.
+template <typename Writer>
+void write_file(const std::string& path, const char* what, Writer&& writer) {
+  std::ofstream os{path};
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open %s for %s\n", path.c_str(), what);
+    std::exit(1);
+  }
+  writer(os);
+  std::printf("  wrote %-11s: %s\n", what, path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +92,8 @@ int main(int argc, char** argv) {
   std::optional<std::int64_t> n_override;
   std::optional<int> nb_override;
   std::string config_text;
+  std::string trace_json, metrics_json, telemetry_json, telemetry_csv, decisions_json;
+  bool model_report = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,6 +101,35 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0], 2);
       return argv[++i];
     };
+    // Observability flags accept both "--flag VALUE" and "--flag=VALUE".
+    auto match_value = [&](const char* name, std::string* out) -> bool {
+      const std::size_t len = std::strlen(name);
+      if (arg == name) {
+        *out = next();
+        return true;
+      }
+      if (arg.size() > len + 1 && arg.compare(0, len, name) == 0 && arg[len] == '=') {
+        *out = arg.substr(len + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (match_value("--trace-json", &trace_json) ||
+        match_value("--metrics-json", &metrics_json) ||
+        match_value("--telemetry-json", &telemetry_json) ||
+        match_value("--telemetry-csv", &telemetry_csv) ||
+        match_value("--decisions-json", &decisions_json)) {
+      continue;
+    }
+    if (match_value("--telemetry-period-ms", &value)) {
+      cfg.obs.telemetry_period_ms = std::atof(value.c_str());
+      continue;
+    }
+    if (arg == "--model-report") {
+      model_report = true;
+      continue;
+    }
     if (arg == "--platform") {
       cfg.platform = next();
     } else if (arg == "--op") {
@@ -141,9 +199,49 @@ int main(int argc, char** argv) {
                        ? power::GpuConfig::uniform(gpus, power::Level::kHigh)
                        : power::GpuConfig::parse(config_text);
 
+  // Derive the observability switches from the requested outputs.
+  cfg.obs.trace = !trace_json.empty();
+  cfg.obs.metrics = !metrics_json.empty();
+  cfg.obs.decision_log = !decisions_json.empty() || model_report;
+  if (cfg.obs.telemetry_period_ms <= 0.0 &&
+      (!telemetry_json.empty() || !telemetry_csv.empty() || !trace_json.empty())) {
+    cfg.obs.telemetry_period_ms = 10.0;  // default sampling for requested outputs
+  }
+
   try {
     const core::ExperimentResult result = core::run_experiment(cfg);
     print_result("experiment", result);
+    if (result.observability != nullptr) {
+      const core::ObservabilityData& data = *result.observability;
+      if (!trace_json.empty()) {
+        write_file(trace_json, "trace", [&](std::ostream& os) {
+          obs::ChromeTraceOptions opts;
+          opts.telemetry = &data.telemetry;
+          opts.worker_names = data.worker_names;
+          obs::write_chrome_trace(os, data.trace, opts);
+        });
+      }
+      if (!metrics_json.empty()) {
+        write_file(metrics_json, "metrics",
+                   [&](std::ostream& os) { data.metrics.write_json(os); });
+      }
+      if (!telemetry_json.empty()) {
+        write_file(telemetry_json, "telemetry",
+                   [&](std::ostream& os) { data.telemetry.write_json(os); });
+      }
+      if (!telemetry_csv.empty()) {
+        write_file(telemetry_csv, "telemetry",
+                   [&](std::ostream& os) { data.telemetry.write_csv(os); });
+      }
+      if (!decisions_json.empty()) {
+        write_file(decisions_json, "decisions",
+                   [&](std::ostream& os) { data.decisions.write_json(os); });
+      }
+      if (model_report) {
+        std::printf("perf-model accuracy (expected vs realized exec time):\n");
+        data.decisions.print_accuracy(std::cout);
+      }
+    }
     if (baseline && !cfg.gpu_config.is_default()) {
       core::ExperimentConfig base_cfg = cfg;
       base_cfg.gpu_config = power::GpuConfig::uniform(gpus, power::Level::kHigh);
