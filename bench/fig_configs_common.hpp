@@ -16,8 +16,8 @@ inline void run_config_figure(const Cli& cli, hw::Precision precision, const cha
       const auto row = core::paper::table_ii_row(platform, op, precision);
       const std::size_t gpus = hw::presets::platform_by_name(platform).gpus.size();
 
-      core::ExperimentConfig base_cfg =
-          experiment_for(row, power::GpuConfig::uniform(gpus, power::Level::kHigh).to_string());
+      core::ExperimentConfig base_cfg = experiment_for(
+          row, power::GpuConfig::uniform(gpus, power::Level::kHigh).to_string(), cli);
       cli.apply_observability(base_cfg);
       const core::ExperimentResult baseline = core::run_experiment(base_cfg);
       cli.maybe_export(baseline);
@@ -26,7 +26,8 @@ inline void run_config_figure(const Cli& cli, hw::Precision precision, const cha
                          "Gflop/s", "energy J", "time s", "cpu tasks"}};
       for (const auto& cfg : power::standard_ladder(gpus)) {
         const core::ExperimentResult r =
-            cfg.is_default() ? baseline : core::run_experiment(experiment_for(row, cfg.to_string()));
+            cfg.is_default() ? baseline
+                             : core::run_experiment(experiment_for(row, cfg.to_string(), cli));
         table.add_row({cfg.to_string(), core::fmt_pct(r.perf_delta_pct(baseline)),
                        core::fmt_pct(r.energy_saving_pct(baseline)),
                        core::fmt(r.efficiency_gflops_per_w, 2), core::fmt(r.gflops, 0),

@@ -28,6 +28,9 @@ struct Cli {
   std::string trace_json;
   std::string metrics_json;
   double telemetry_period_ms = 0.0;
+  // Fault-injection / resilience pass-through (docs/ROBUSTNESS.md); applied
+  // to every experiment the binary runs, unlike the one-shot capture above.
+  core::ResilienceConfig resilience;
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
@@ -52,6 +55,16 @@ struct Cli {
         cli.metrics_json = value();
       } else if (arg.rfind("--telemetry-period-ms", 0) == 0) {
         cli.telemetry_period_ms = std::atof(value().c_str());
+      } else if (arg.rfind("--faults", 0) == 0) {
+        cli.resilience.faults = value();
+      } else if (arg.rfind("--fault-seed", 0) == 0) {
+        cli.resilience.fault_seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+      } else if (arg.rfind("--reconcile-ms", 0) == 0) {
+        cli.resilience.reconcile_ms = std::atof(value().c_str());
+      } else if (arg == "--degrade") {
+        cli.resilience.degrade = true;
+      } else if (arg.rfind("--cap-retries", 0) == 0) {
+        cli.resilience.max_cap_retries = std::atoi(value().c_str());
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: " << argv[0]
                   << " [--csv] [--quick] [--trace-json FILE] [--metrics-json FILE]"
@@ -60,7 +73,12 @@ struct Cli {
                   << "  --quick                  coarser sweeps (CI smoke mode)\n"
                   << "  --trace-json FILE        Perfetto export of the first experiment\n"
                   << "  --metrics-json FILE      metrics snapshot of the first experiment\n"
-                  << "  --telemetry-period-ms N  telemetry sampling period for the capture\n";
+                  << "  --telemetry-period-ms N  telemetry sampling period for the capture\n"
+                  << "  --faults SPEC            fault plan (kind@gpuN:k=v,... or @FILE)\n"
+                  << "  --fault-seed N           injector RNG seed\n"
+                  << "  --reconcile-ms N         cap reconciliation period (virtual ms)\n"
+                  << "  --degrade                degrade to H on cap failure\n"
+                  << "  --cap-retries N          cap-write retry budget (default 3)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown argument: " << arg << "\n";
@@ -73,6 +91,9 @@ struct Cli {
   [[nodiscard]] bool observability_requested() const {
     return !trace_json.empty() || !metrics_json.empty() || telemetry_period_ms > 0.0;
   }
+
+  /// Copies the resilience knobs onto `cfg` (no-op with default knobs).
+  void apply_resilience(core::ExperimentConfig& cfg) const { cfg.resilience = resilience; }
 
   /// Enables capture on `cfg` if requested and not yet consumed by an
   /// earlier experiment of this process.
@@ -133,6 +154,14 @@ inline core::ExperimentConfig experiment_for(const core::paper::TableIIRow& row,
   cfg.n = row.n;
   cfg.nb = row.nb;
   cfg.gpu_config = power::GpuConfig::parse(gpu_cfg);
+  return cfg;
+}
+
+/// Same, with the CLI's fault-injection/resilience knobs applied.
+inline core::ExperimentConfig experiment_for(const core::paper::TableIIRow& row,
+                                             const std::string& gpu_cfg, const Cli& cli) {
+  core::ExperimentConfig cfg = experiment_for(row, gpu_cfg);
+  cli.apply_resilience(cfg);
   return cfg;
 }
 

@@ -14,11 +14,11 @@ int main(int argc, char** argv) {
   // Flagship platform, GEMM double (the paper's headline case).
   const auto row =
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
-  const auto base = core::run_experiment(bench::experiment_for(row, "HHHH"));
-  const auto bbbb = core::run_experiment(bench::experiment_for(row, "BBBB"));
+  const auto base = core::run_experiment(bench::experiment_for(row, "HHHH", cli));
+  const auto bbbb = core::run_experiment(bench::experiment_for(row, "BBBB", cli));
   // With --trace-json etc. the HHBB run (the paper's subset-capping case)
   // is the one captured: the unbalanced schedule is the interesting one.
-  core::ExperimentConfig hhbb_cfg = bench::experiment_for(row, "HHBB");
+  core::ExperimentConfig hhbb_cfg = bench::experiment_for(row, "HHBB", cli);
   cli.apply_observability(hhbb_cfg);
   const auto hhbb = core::run_experiment(hhbb_cfg);
   cli.maybe_export(hhbb);
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   // CPU capping leverage on the V100 platform (BB config, GEMM double).
   const auto vrow =
       core::paper::table_ii_row("24-Intel-2-V100", core::Operation::kGemm, hw::Precision::kDouble);
-  core::ExperimentConfig vcfg = bench::experiment_for(vrow, "BB");
+  core::ExperimentConfig vcfg = bench::experiment_for(vrow, "BB", cli);
   const auto v_plain = core::run_experiment(vcfg);
   vcfg.cpu_cap = core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
   const auto v_capped = core::run_experiment(vcfg);

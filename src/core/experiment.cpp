@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/fault_plan.hpp"
 #include "hw/presets.hpp"
 #include "la/calibration_sets.hpp"
 #include "la/flops.hpp"
@@ -52,6 +53,9 @@ std::string ExperimentConfig::describe() const {
   if (stale_models) {
     oss << " stale-models";
   }
+  if (!resilience.faults.empty()) {
+    oss << " faults=" << resilience.faults;
+  }
   return oss.str();
 }
 
@@ -77,9 +81,32 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   hw::Platform platform{hw::presets::platform_by_name(config.platform)};
   sim::Simulator simulator;
 
+  ExperimentResult result;
+  result.config = config;
+
+  // -- fault injection ---------------------------------------------------------
+  // The injector owns its own seeded RNG stream: constructing it (or running
+  // a plan that fires nothing) never perturbs the runtime's randomness.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.resilience.faults.empty()) {
+    const std::uint64_t fault_seed = config.resilience.fault_seed != 0
+                                         ? config.resilience.fault_seed
+                                         : config.seed ^ 0x9e3779b97f4a7c15ULL;
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::parse(config.resilience.faults), fault_seed);
+  }
+
   // -- power configuration & model calibration --------------------------------
   power::PowerManager manager{platform, simulator};
   manager.resolve_best_caps(config.precision, config.nb);
+  power::PowerResilience power_res;
+  power_res.max_retries = config.resilience.max_cap_retries;
+  power_res.allow_degradation = config.resilience.degrade;
+  manager.set_resilience(power_res);
+  manager.set_degradation(&result.degradation);
+  if (injector != nullptr) {
+    manager.attach_faults(*injector);
+  }
 
   // Observability artifacts outlive the runtime via the result.
   auto obs_data = config.obs.any() ? std::make_shared<ObservabilityData>() : nullptr;
@@ -100,7 +127,15 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
       options.decision_log = &obs_data->decisions;
     }
   }
+  options.faults = injector.get();
+  options.degradation = &result.degradation;
   rt::Runtime runtime{platform, simulator, options};
+  if (injector != nullptr && obs_data != nullptr) {
+    injector->set_metrics(options.metrics);
+    if (config.obs.trace) {
+      injector->set_trace(&runtime.trace());
+    }
+  }
   obs::TelemetrySampler sampler;
   if (obs_data != nullptr) {
     manager.set_metrics(options.metrics);
@@ -111,6 +146,29 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
       obs::attach_platform_channels(sampler, platform);
       runtime.register_telemetry(sampler);
     }
+  }
+
+  // -- energy accounting -------------------------------------------------------
+  // Every raw GPU counter reading flows through a monotonic tracker, so an
+  // injected counter reset (driver reload) cannot make end-minus-start go
+  // negative. With no faults the trackers are exact pass-throughs.
+  std::vector<hw::MonotonicEnergyTracker> gpu_energy{platform.gpu_count()};
+  auto read_energy = [&](sim::SimTime now) {
+    hw::EnergyReading r = platform.read_energy(now);
+    for (std::size_t g = 0; g < r.gpu_joules.size(); ++g) {
+      r.gpu_joules[g] = gpu_energy[g].update(r.gpu_joules[g]);
+    }
+    return r;
+  };
+  if (injector != nullptr) {
+    injector->on_energy_reset([&](int gpu, sim::SimTime now) {
+      // Sample just before zeroing so the tracker holds everything
+      // accumulated so far, then fold it explicitly — reconstruction is
+      // exact regardless of how much energy follows the reset.
+      (void)read_energy(now);
+      gpu_energy[static_cast<std::size_t>(gpu)].note_reset();
+      platform.gpu(static_cast<std::size_t>(gpu)).reset_energy(now);
+    });
   }
 
   la::Codelets<T> codelets;
@@ -150,14 +208,27 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
     }
   }
 
+  // -- resilience loops --------------------------------------------------------
+  // Reconciliation and the injector's timed faults start only now, after
+  // calibration, so plan times mean "seconds into the measured run"; drain
+  // hooks stop both at the instant the DAG retires, keeping the makespan
+  // free of stray bookkeeping events.
+  if (config.resilience.reconcile_ms > 0.0) {
+    manager.start_reconciliation(
+        sim::SimTime::millis(config.resilience.reconcile_ms),
+        [&runtime](std::size_t gpu) { runtime.invalidate_gpu_history(gpu); });
+    runtime.add_drain_hook([&manager] { manager.stop_reconciliation(); });
+  }
+  if (injector != nullptr) {
+    injector->arm(simulator);
+  }
+
   // -- build and run the operation --------------------------------------------
   const bool allocate = config.execute_kernels;
   la::TileMatrix<T> a{config.n, config.nb, allocate, "A"};
   a.register_with(runtime);
   sim::Xoshiro256 rng{config.seed};
 
-  ExperimentResult result;
-  result.config = config;
   // Arm telemetry only around the measured operation, mirroring the
   // counter-read-at-start/end energy methodology: calibration activity
   // stays out of the profile.
@@ -174,30 +245,30 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
         a.fill_random(rng);
         b.fill_random(rng);
       }
-      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      const hw::EnergyReading start = read_energy(simulator.now());
       la::submit_gemm<T>(runtime, codelets, a, b, c);
       runtime.wait_all();
-      result.energy = platform.read_energy(simulator.now()) - start;
+      result.energy = read_energy(simulator.now()) - start;
       break;
     }
     case Operation::kPotrf: {
       if (allocate) {
         a.make_spd(rng);
       }
-      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      const hw::EnergyReading start = read_energy(simulator.now());
       la::submit_potrf<T>(runtime, codelets, a);
       runtime.wait_all();
-      result.energy = platform.read_energy(simulator.now()) - start;
+      result.energy = read_energy(simulator.now()) - start;
       break;
     }
     case Operation::kGetrf: {
       if (allocate) {
         a.make_diagonally_dominant(rng);
       }
-      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      const hw::EnergyReading start = read_energy(simulator.now());
       la::submit_getrf<T>(runtime, lu_codelets, a);
       runtime.wait_all();
-      result.energy = platform.read_energy(simulator.now()) - start;
+      result.energy = read_energy(simulator.now()) - start;
       break;
     }
     case Operation::kGeqrf: {
@@ -208,10 +279,10 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
         }
       }
       la::QrWorkspace<T> workspace{runtime, a};
-      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      const hw::EnergyReading start = read_energy(simulator.now());
       la::submit_geqrf<T>(runtime, qr_codelets, a, workspace);
       runtime.wait_all();
-      result.energy = platform.read_energy(simulator.now()) - start;
+      result.energy = read_energy(simulator.now()) - start;
       break;
     }
     case Operation::kGelqf: {
@@ -222,15 +293,21 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
         }
       }
       la::QrWorkspace<T> workspace{runtime, a};
-      const hw::EnergyReading start = platform.read_energy(simulator.now());
+      const hw::EnergyReading start = read_energy(simulator.now());
       la::submit_gelqf<T>(runtime, lq_codelets, a, workspace);
       runtime.wait_all();
-      result.energy = platform.read_energy(simulator.now()) - start;
+      result.energy = read_energy(simulator.now()) - start;
       break;
     }
   }
   sampler.stop();
   result.stats = runtime.stats();
+  if (injector != nullptr) {
+    result.fault_counts = injector->counts();
+  }
+  for (const auto& tracker : gpu_energy) {
+    result.energy_counter_resets += tracker.resets_seen();
+  }
   if (obs_data != nullptr) {
     obs_data->trace = runtime.trace();
     obs_data->telemetry = sampler.series();

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/degradation.hpp"
+#include "fault/injector.hpp"
 #include "hw/kernel_work.hpp"
 #include "hw/platform.hpp"
 #include "obs/decision_log.hpp"
@@ -70,6 +72,27 @@ struct ObservabilityData {
   std::vector<std::string> worker_names;  ///< trace-export row labels
 };
 
+/// Fault-injection and resilience knobs (docs/ROBUSTNESS.md). Everything
+/// defaults to off; with `faults` empty and `reconcile_ms` zero a run is
+/// byte-identical to one without this struct.
+struct ResilienceConfig {
+  /// Fault plan: inline `kind@gpuN:key=value,...` spec (';'-separated
+  /// events) or `@path` to a JSON plan file. Empty = no injection.
+  std::string faults;
+  /// Seed for the injector's private RNG stream. 0 derives one from the
+  /// experiment seed, so fault dice never perturb the runtime's stream.
+  std::uint64_t fault_seed = 0;
+  /// Cap-reconciliation period (verify-and-re-assert loop); 0 disables it.
+  double reconcile_ms = 0.0;
+  /// On an unrecoverable cap write, fall back to H on that GPU instead of
+  /// rolling the whole configuration back and failing the run.
+  bool degrade = false;
+  /// Bounded retry budget for NVML cap writes (on top of the first try).
+  int max_cap_retries = 3;
+
+  [[nodiscard]] bool any() const { return !faults.empty() || reconcile_ms > 0.0; }
+};
+
 struct ExperimentConfig {
   std::string platform;  ///< preset name, e.g. "32-AMD-4-A100"
   Operation op = Operation::kGemm;
@@ -94,6 +117,8 @@ struct ExperimentConfig {
   bool execute_kernels = false;
   /// Optional tracing/metrics/telemetry capture (all off by default).
   ObservabilityOptions obs;
+  /// Optional fault injection + resilience knobs (all off by default).
+  ResilienceConfig resilience;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -111,6 +136,13 @@ struct ExperimentResult {
   std::uint64_t gpu_tasks = 0;
   /// Populated iff config.obs.any(); shared so results stay copyable.
   std::shared_ptr<ObservabilityData> observability;
+  /// Per-GPU service degradations (cap fallback to H, worker quarantine);
+  /// empty on a clean run.
+  fault::DegradationReport degradation;
+  /// Tally of faults the injector actually fired (zeros without --faults).
+  fault::FaultInjector::Counts fault_counts;
+  /// Energy-counter resets reconstructed by the monotonic tracker.
+  int energy_counter_resets = 0;
 
   /// Percent performance change vs. a baseline (positive = speedup).
   [[nodiscard]] double perf_delta_pct(const ExperimentResult& baseline) const;

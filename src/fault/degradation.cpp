@@ -1,0 +1,39 @@
+#include "fault/degradation.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace greencap::fault {
+
+std::string DegradationReport::to_string() const {
+  std::ostringstream os;
+  for (const DegradationEvent& e : events_) {
+    os << "[" << e.component << "] t=" << e.at_s << "s " << e.detail;
+    if (!e.from.empty() || !e.to.empty()) {
+      os << ": " << e.from << " -> " << e.to;
+    }
+    if (!e.reason.empty()) {
+      os << " (" << e.reason << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void DegradationReport::write_json(std::ostream& os) const {
+  os << "{\"degradations\": [";
+  const char* sep = "";
+  for (const DegradationEvent& e : events_) {
+    os << sep << "{\"component\": " << obs::json_string(e.component)
+       << ", \"detail\": " << obs::json_string(e.detail)
+       << ", \"from\": " << obs::json_string(e.from) << ", \"to\": " << obs::json_string(e.to)
+       << ", \"reason\": " << obs::json_string(e.reason)
+       << ", \"at_s\": " << obs::json_number(e.at_s) << "}";
+    sep = ", ";
+  }
+  os << "]}\n";
+}
+
+}  // namespace greencap::fault

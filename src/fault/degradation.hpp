@@ -1,0 +1,54 @@
+// Degradation reporting: the audit trail of every resilience decision.
+//
+// When a cap write cannot be applied, a drifted limit is re-asserted, a
+// worker is quarantined or a task is requeued, the component records a
+// DegradationEvent here. Operators read the report to know the run did NOT
+// execute under the exact configuration that was requested — the number the
+// paper's protocol would otherwise silently misattribute.
+//
+// Fields are plain strings so every layer (power, runtime, experiment
+// driver) can report without depending on each other's types.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greencap::fault {
+
+struct DegradationEvent {
+  /// Reporting component, e.g. "power" or "rt".
+  std::string component;
+  /// What degraded, e.g. "gpu1" or "worker cuda2".
+  std::string detail;
+  /// Requested state, e.g. "B (178 W)".
+  std::string from;
+  /// State actually in effect, e.g. "H (250 W)".
+  std::string to;
+  /// Why, e.g. "cap write failed 4x: insufficient_power".
+  std::string reason;
+  /// Virtual time of the decision, seconds.
+  double at_s = 0.0;
+};
+
+class DegradationReport {
+ public:
+  void add(DegradationEvent event) { events_.push_back(std::move(event)); }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<DegradationEvent>& events() const { return events_; }
+
+  void clear() { events_.clear(); }
+
+  /// Human-readable multi-line summary (one event per line).
+  [[nodiscard]] std::string to_string() const;
+
+  /// {"degradations": [{component, detail, from, to, reason, at_s}, ...]}
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<DegradationEvent> events_;
+};
+
+}  // namespace greencap::fault

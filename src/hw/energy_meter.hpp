@@ -34,4 +34,47 @@ class EnergyMeter {
   sim::SimTime last_update_ = sim::SimTime::zero();
 };
 
+/// Monotonic reconstruction of a resettable energy counter.
+///
+/// NVML's total-energy counter restarts from zero on driver reload (and
+/// the 64-bit millijoule register can in principle wrap); naive
+/// end-minus-start subtraction then goes negative. Real measurement
+/// tooling feeds every raw reading through a tracker like this one: a
+/// backwards jump is interpreted as a reset, the pre-reset total is folded
+/// into an offset, and total() stays monotone.
+class MonotonicEnergyTracker {
+ public:
+  /// Folds the next raw counter reading in; returns the reconstructed
+  /// monotonic total (offset + raw).
+  double update(double raw_joules) {
+    if (raw_joules + 1e-9 < last_raw_) {
+      // Counter went backwards: a reset happened since the last reading.
+      // Everything accumulated before it is preserved in the offset.
+      offset_ += last_raw_;
+      ++resets_;
+    }
+    last_raw_ = raw_joules;
+    return offset_ + last_raw_;
+  }
+
+  /// Records a reset the consumer observed directly (e.g. a fault listener
+  /// watching the driver reload): folds the last reading into the offset
+  /// immediately. The backwards-jump heuristic alone would miss a reset
+  /// whenever the counter climbs past its old value before the next
+  /// reading, silently losing the pre-reset energy.
+  void note_reset() {
+    offset_ += last_raw_;
+    last_raw_ = 0.0;
+    ++resets_;
+  }
+
+  [[nodiscard]] double total() const { return offset_ + last_raw_; }
+  [[nodiscard]] int resets_seen() const { return resets_; }
+
+ private:
+  double offset_ = 0.0;
+  double last_raw_ = 0.0;
+  int resets_ = 0;
+};
+
 }  // namespace greencap::hw

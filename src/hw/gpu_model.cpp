@@ -89,6 +89,7 @@ double GpuModel::power_during(const KernelWork& work) const {
 }
 
 void GpuModel::begin_kernel(const KernelWork& work, sim::SimTime now) {
+  assert(!failed_ && "begin_kernel on a failed device");
   assert(!busy_ && "GpuModel executes one kernel at a time");
   busy_ = true;
   meter_.set_power(power_during(work), now);
@@ -98,6 +99,12 @@ void GpuModel::end_kernel(sim::SimTime now) {
   assert(busy_ && "end_kernel without begin_kernel");
   busy_ = false;
   meter_.set_power(spec_.idle_w, now);
+}
+
+void GpuModel::fail(sim::SimTime now) {
+  busy_ = false;
+  failed_ = true;
+  meter_.set_power(0.0, now);
 }
 
 }  // namespace greencap::hw

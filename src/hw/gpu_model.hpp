@@ -118,6 +118,13 @@ class GpuModel {
   void end_kernel(sim::SimTime now);
   [[nodiscard]] bool busy() const { return busy_; }
 
+  /// Takes the device off the bus at `now` (whole-GPU dropout): any
+  /// in-flight kernel is abandoned, draw falls to zero and the board
+  /// accepts no further kernels. The energy counter keeps its integrated
+  /// value — the board stops drawing, it does not forget.
+  void fail(sim::SimTime now);
+  [[nodiscard]] bool failed() const { return failed_; }
+
   /// Integrates energy up to `now` (e.g. before reading the counter).
   void advance(sim::SimTime now) { meter_.advance(now); }
   [[nodiscard]] double energy_joules() const { return meter_.joules(); }
@@ -129,6 +136,7 @@ class GpuModel {
   std::int32_t index_;
   double cap_w_;
   bool busy_ = false;
+  bool failed_ = false;
   EnergyMeter meter_;
 };
 

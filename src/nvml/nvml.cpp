@@ -44,6 +44,18 @@ Result Device::power_management_default_limit(std::uint32_t* mw) const {
 }
 
 Result Device::set_power_management_limit(std::uint32_t mw) {
+  if (faults_ != nullptr) {
+    if (faults_->dropped(index_)) {
+      return Result::kNotFound;  // device fell off the bus
+    }
+    if (const auto err = faults_->cap_write_error(index_, sim_->now())) {
+      switch (*err) {
+        case fault::CapError::kInsufficientPower: return Result::kInsufficientPower;
+        case fault::CapError::kNotSupported: return Result::kNotSupported;
+        case fault::CapError::kNoPermission: return Result::kNoPermission;
+      }
+    }
+  }
   const double watts = static_cast<double>(mw) / 1000.0;
   if (watts < model_->spec().min_cap_w - 1e-9 || watts > model_->spec().tdp_w + 1e-9) {
     return Result::kInvalidArgument;
@@ -68,7 +80,13 @@ Result Device::power_usage(std::uint32_t* mw) const {
 Context::Context(hw::Platform& platform, const sim::Simulator& sim) {
   devices_.reserve(platform.gpu_count());
   for (std::size_t i = 0; i < platform.gpu_count(); ++i) {
-    devices_.push_back(Device{&platform.gpu(i), &sim});
+    devices_.push_back(Device{&platform.gpu(i), &sim, static_cast<int>(i)});
+  }
+}
+
+void Context::set_fault_injector(fault::FaultInjector* injector) {
+  for (Device& device : devices_) {
+    device.faults_ = injector;
   }
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/platform.hpp"
 #include "sim/simulator.hpp"
 
@@ -59,9 +60,14 @@ class Device {
 
  private:
   friend class Context;
-  Device(hw::GpuModel* model, const sim::Simulator* sim) : model_{model}, sim_{sim} {}
+  Device(hw::GpuModel* model, const sim::Simulator* sim, int index)
+      : model_{model}, sim_{sim}, index_{index} {}
   hw::GpuModel* model_;
   const sim::Simulator* sim_;
+  int index_;
+  /// Injection hook (not owned, may be null). Consulted before every cap
+  /// write so planned failures surface exactly where real NVML errors do.
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 /// Library context, analogous to the nvmlInit/nvmlShutdown session.
@@ -74,6 +80,9 @@ class Context {
 
   [[nodiscard]] std::uint32_t device_count() const;
   [[nodiscard]] Result device_handle_by_index(std::uint32_t index, Device** out);
+
+  /// Attaches (or detaches, with null) a fault injector to every device.
+  void set_fault_injector(fault::FaultInjector* injector);
 
  private:
   std::vector<Device> devices_;

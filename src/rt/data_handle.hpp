@@ -42,6 +42,11 @@ class DataHandle {
     valid_.set(node);
   }
 
+  /// Invalidates the copy on `node` (e.g. the node's device dropped off
+  /// the bus). May leave the handle valid nowhere; the caller is
+  /// responsible for restoring a copy somewhere reachable.
+  void drop_copy(MemoryNode node) { valid_.reset(node); }
+
   /// Number of nodes currently holding a valid copy.
   [[nodiscard]] std::size_t copy_count() const { return valid_.count(); }
 

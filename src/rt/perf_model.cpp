@@ -57,4 +57,13 @@ void HistoryPerfModel::invalidate() {
   regression_.clear();
 }
 
+void HistoryPerfModel::invalidate_worker(WorkerId worker) {
+  for (auto it = history_.begin(); it != history_.end();) {
+    it = std::get<1>(it->first) == worker ? history_.erase(it) : std::next(it);
+  }
+  for (auto it = regression_.begin(); it != regression_.end();) {
+    it = std::get<1>(it->first) == worker ? regression_.erase(it) : std::next(it);
+  }
+}
+
 }  // namespace greencap::rt

@@ -50,6 +50,12 @@ class HistoryPerfModel {
   /// every power-cap change, then recalibrates.
   void invalidate();
 
+  /// Forgets one worker's history and regression state. Used when a worker
+  /// is quarantined (its samples describe a device that no longer exists)
+  /// or its device's effective cap changed behind the scheduler's back
+  /// (stale samples would mislead dm-family placement until they wash out).
+  void invalidate_worker(WorkerId worker);
+
   [[nodiscard]] std::size_t entry_count() const { return history_.size(); }
 
  private:

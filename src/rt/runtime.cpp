@@ -20,6 +20,12 @@ Runtime::Runtime(hw::Platform& platform, sim::Simulator& sim, RuntimeOptions opt
   trace_.enable(options_.enable_trace);
   build_workers();
   scheduler_->attach(*this);
+  if (options_.faults != nullptr) {
+    options_.faults->on_dropout([this](int gpu, sim::SimTime now) { handle_dropout(gpu, now); });
+    // Timed faults scheduled past the makespan must not extend the virtual
+    // clock (they would distort the end-of-run energy reading).
+    drain_hooks_.push_back([this] { options_.faults->cancel_pending(); });
+  }
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options_.metrics;
     m_tasks_submitted_ = &reg.counter("rt.tasks_submitted");
@@ -123,6 +129,7 @@ TaskId Runtime::submit(TaskDesc desc) {
   }
 
   ref.unresolved_deps = pending;
+  drained_ = false;  // new work re-arms the drain hooks
   if (pending == 0) {
     make_ready(ref);
   }
@@ -252,6 +259,12 @@ void Runtime::record_decision(Task& task, Worker& worker) {
 
 sim::SimTime Runtime::actual_exec_time(Task& task, const Worker& worker) {
   sim::SimTime t = oracle_exec_time(task.codelet(), task.work(), worker);
+  if (options_.faults != nullptr && worker.arch() == WorkerArch::kCuda) {
+    // A straggler window slows the kernel itself; the scheduler's estimate
+    // is untouched, so dm-family policies only learn about it from the
+    // history model — mirroring how real stragglers surprise StarPU.
+    t = t * options_.faults->straggler_factor(worker.gpu()->index(), sim_.now());
+  }
   if (options_.exec_noise_rel > 0.0) {
     const double factor = std::max(0.05, 1.0 + options_.exec_noise_rel * rng_.normal());
     t = t * factor;
@@ -298,10 +311,12 @@ void Runtime::try_start(Worker& worker) {
 
   Task* task_ptr = task;
   Worker* worker_ptr = &worker;
-  sim_.at(start, [this, task_ptr, worker_ptr, start, end] {
+  worker.inflight = task_ptr;
+  worker.begin_event = sim_.at(start, [this, task_ptr, worker_ptr, start, end] {
     begin_execution(*task_ptr, *worker_ptr, start, end);
   });
-  sim_.at(end, [this, task_ptr, worker_ptr] { finish_task(*task_ptr, *worker_ptr); });
+  worker.end_event =
+      sim_.at(end, [this, task_ptr, worker_ptr] { finish_task(*task_ptr, *worker_ptr); });
 }
 
 void Runtime::begin_execution(Task& task, Worker& worker, sim::SimTime start, sim::SimTime end) {
@@ -312,22 +327,29 @@ void Runtime::begin_execution(Task& task, Worker& worker, sim::SimTime start, si
   } else {
     worker.cpu()->core_busy(sim_.now());
   }
-  if (options_.execute_kernels) {
-    const KernelFunc& func = task.codelet().func_for(worker.arch());
-    if (func) {
-      func(task);
-    }
-  }
+  // The kernel host function runs at *completion* (finish_task), not here:
+  // a task aborted mid-flight by a device dropout must leave its output
+  // handles untouched so it can re-execute cleanly on a surviving worker.
+  // Timing is unaffected — data dependencies already serialize conflicting
+  // accesses, so observable results are identical either way.
   if (trace_.enabled()) {
     trace_.add_span({sim::SpanKind::kTask, worker.id(), task.id(), task.label, start, end});
   }
 }
 
 void Runtime::finish_task(Task& task, Worker& worker) {
+  worker.inflight = nullptr;
   if (worker.arch() == WorkerArch::kCuda) {
     worker.gpu()->end_kernel(sim_.now());
   } else {
     worker.cpu()->core_idle(sim_.now());
+  }
+
+  if (options_.execute_kernels) {
+    const KernelFunc& func = task.codelet().func_for(worker.arch());
+    if (func) {
+      func(task);
+    }
   }
 
   // Writes take ownership of the data on the executing node.
@@ -386,6 +408,14 @@ void Runtime::finish_task(Task& task, Worker& worker) {
   // run's energy accounting stays bit-identical to an unobserved run).
   if (telemetry_ != nullptr && tasks_completed_ == tasks_.size() && telemetry_->running()) {
     telemetry_->stop();
+  }
+  // Same instant, same reason: stop repeating/pending activities that would
+  // keep the simulator from going idle (cap reconciliation, timed faults).
+  if (!drained_ && tasks_completed_ == tasks_.size()) {
+    drained_ = true;
+    for (const auto& hook : drain_hooks_) {
+      hook();
+    }
   }
 }
 
@@ -514,6 +544,107 @@ void Runtime::register_telemetry(obs::TelemetrySampler& sampler) {
     return static_cast<double>(tasks_completed_);
   });
   telemetry_ = &sampler;
+}
+
+void Runtime::add_drain_hook(std::function<void()> hook) {
+  drain_hooks_.push_back(std::move(hook));
+}
+
+void Runtime::invalidate_gpu_history(std::size_t gpu) {
+  for (Worker& w : workers_) {
+    if (w.arch() == WorkerArch::kCuda && w.gpu() == &platform_.gpu(gpu)) {
+      perf_model_.invalidate_worker(w.id());
+      return;
+    }
+  }
+}
+
+void Runtime::handle_dropout(int gpu, sim::SimTime now) {
+  if (gpu < 0 || static_cast<std::size_t>(gpu) >= platform_.gpu_count()) {
+    return;
+  }
+  Worker* victim = nullptr;
+  for (Worker& w : workers_) {
+    if (w.arch() == WorkerArch::kCuda && w.gpu() == &platform_.gpu(static_cast<std::size_t>(gpu))) {
+      victim = &w;
+      break;
+    }
+  }
+  if (victim == nullptr || victim->quarantined) {
+    return;
+  }
+  Worker& w = *victim;
+  w.quarantined = true;
+  // From this instant the device draws nothing and accepts no kernels; the
+  // quarantine flag makes the worker ineligible in worker_can_run, which
+  // every scheduling policy consults.
+  w.gpu()->fail(now);
+
+  std::vector<Task*> requeue;
+  if (w.inflight != nullptr) {
+    // Abort the in-flight task: its begin/end events are cancelled (lazy
+    // cancellation — already-fired events are a no-op) and, because kernel
+    // host functions run at completion, no output was written yet.
+    sim_.cancel(w.begin_event);
+    sim_.cancel(w.end_event);
+    requeue.push_back(w.inflight);
+    w.inflight = nullptr;
+  }
+  w.busy = false;
+  w.busy_until = now;
+  w.expected_free = now;
+  for (Task* queued : scheduler_->evict(w)) {
+    requeue.push_back(queued);
+  }
+
+  // Coherence repair: copies on the dead device's memory node are gone.
+  // Simulated kernels execute against the host mirror (see DataHandle's
+  // header), so a handle stranded only on the dead node is restored by
+  // re-validating the host copy — the timing analogue of recovering from
+  // a host-side checkpoint. Do this *before* requeueing: the scheduler's
+  // transfer/locality estimates read handle validity.
+  const MemoryNode dead = w.node();
+  std::uint64_t restored = 0;
+  for (const auto& handle : handles_) {
+    if (!handle->valid_on(dead)) {
+      continue;
+    }
+    handle->drop_copy(dead);
+    if (handle->copy_count() == 0) {
+      handle->add_copy(kHostNode);
+      ++restored;
+    }
+  }
+
+  // The dead worker's samples must not participate in future placement.
+  perf_model_.invalidate_worker(w.id());
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    reg.counter("rt.workers_quarantined").inc();
+    reg.counter("rt.tasks_requeued").inc(requeue.size());
+    reg.counter("rt.handles_restored_from_host").inc(restored);
+  }
+  if (options_.degradation != nullptr) {
+    fault::DegradationEvent event;
+    event.component = "rt";
+    event.detail = w.describe();
+    event.from = "active";
+    event.to = "quarantined";
+    event.reason = "gpu" + std::to_string(gpu) + " dropout; " + std::to_string(requeue.size()) +
+                   " task(s) requeued, " + std::to_string(restored) + " handle(s) refetched";
+    event.at_s = now.sec();
+    options_.degradation->add(std::move(event));
+  }
+
+  // Requeue through the normal ready path so placement, prefetch and the
+  // decision log all re-run against the surviving workers.
+  for (Task* task : requeue) {
+    task->assigned_worker = -1;
+    task->data_ready_at = sim::SimTime::zero();
+    make_ready(*task);
+  }
+  wake_all_idle();
 }
 
 std::vector<std::string> Runtime::worker_names() const {

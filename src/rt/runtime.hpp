@@ -12,10 +12,13 @@
 
 #include <any>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/degradation.hpp"
+#include "fault/injector.hpp"
 #include "hw/platform.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/metrics.hpp"
@@ -70,6 +73,13 @@ struct RuntimeOptions {
   /// dispatch records the chosen worker, the per-worker expected
   /// durations/energies, and — at completion — the realized duration.
   obs::DecisionLog* decision_log = nullptr;
+  /// Optional fault injector (not owned). The runtime subscribes to GPU
+  /// dropout (quarantine + requeue), applies straggler slowdowns to CUDA
+  /// executions, and cancels the injector's pending timed faults when the
+  /// DAG drains. Null keeps every path byte-identical to an uninjected run.
+  fault::FaultInjector* faults = nullptr;
+  /// Optional degradation report (not owned) for quarantine/requeue events.
+  fault::DegradationReport* degradation = nullptr;
 };
 
 struct TaskDesc {
@@ -168,6 +178,27 @@ class Runtime final : public SchedulerContext {
   /// Worker row labels for trace export, indexed by worker id.
   [[nodiscard]] std::vector<std::string> worker_names() const;
 
+  // -- resilience ------------------------------------------------------------
+
+  /// Registers a callback to run (once per drain) at the instant the last
+  /// submitted task retires — before wait_all() returns. Used to stop
+  /// repeating activities (cap reconciliation, pending fault events) that
+  /// would otherwise keep the simulator from going idle or stretch the
+  /// virtual timeline past the makespan.
+  void add_drain_hook(std::function<void()> hook);
+
+  /// Drops one worker's perf-model history so dm-family schedulers re-adapt
+  /// to a device whose effective power state changed (reconciliation
+  /// re-assert, throttling). `gpu` is the platform GPU index.
+  void invalidate_gpu_history(std::size_t gpu);
+
+  /// Removes `gpu`'s worker from service at `now`: cancels and requeues its
+  /// in-flight task, drains its queue back to the scheduler, invalidates
+  /// coherence copies held on the dead device (refetching from host) and
+  /// its perf-model history. Idempotent per GPU. Wired automatically to
+  /// RuntimeOptions::faults dropout events.
+  void handle_dropout(int gpu, sim::SimTime now);
+
   // -- SchedulerContext ------------------------------------------------------
   [[nodiscard]] std::vector<Worker>& workers() override { return workers_; }
   [[nodiscard]] sim::SimTime now() const override { return sim_.now(); }
@@ -208,6 +239,8 @@ class Runtime final : public SchedulerContext {
   std::uint64_t tasks_completed_ = 0;
   double flops_completed_ = 0.0;
   sim::SimTime last_completion_;
+  std::vector<std::function<void()>> drain_hooks_;
+  bool drained_ = false;
 
   // Cached metric handles (null when options_.metrics is null) so the
   // execution path pays one pointer test, not a map lookup.

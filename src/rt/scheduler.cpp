@@ -7,6 +7,9 @@
 namespace greencap::rt {
 
 bool worker_can_run(const Task& task, const Worker& worker) {
+  if (worker.quarantined) {
+    return false;  // removed from service (device dropout)
+  }
   if (!task.codelet().where.can_run_on(worker.arch())) {
     return false;
   }
@@ -14,6 +17,13 @@ bool worker_can_run(const Task& task, const Worker& worker) {
     return false;
   }
   return true;
+}
+
+std::vector<Task*> Scheduler::evict(Worker& worker) {
+  std::vector<Task*> evicted{worker.queue.begin(), worker.queue.end()};
+  worker.queue.clear();
+  note_evicted(evicted.size());
+  return evicted;
 }
 
 namespace {

@@ -71,8 +71,17 @@ class Scheduler {
   /// the built-in policies all report exact counts.
   [[nodiscard]] virtual std::size_t pending_count() const { return has_pending() ? 1 : 0; }
 
+  /// Removes and returns every task queued on `worker` (quarantine path).
+  /// Tasks parked in shared queues are untouched — they simply stop being
+  /// eligible for the worker once it is marked quarantined.
+  [[nodiscard]] virtual std::vector<Task*> evict(Worker& worker);
+
  protected:
   SchedulerContext& ctx() { return *ctx_; }
+
+  /// Policies that mirror queue contents in a pending counter adjust it
+  /// here when evict() drains a worker's queue.
+  virtual void note_evicted(std::size_t /*count*/) {}
 
  private:
   SchedulerContext* ctx_ = nullptr;
@@ -101,6 +110,9 @@ class RandomScheduler final : public Scheduler {
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
   [[nodiscard]] std::size_t pending_count() const override { return pending_; }
 
+ protected:
+  void note_evicted(std::size_t count) override { pending_ -= count; }
+
  private:
   std::size_t pending_ = 0;
 };
@@ -118,6 +130,7 @@ class WorkStealingScheduler : public Scheduler {
   /// lws steals from the victim with the best data locality instead of
   /// the most loaded one.
   [[nodiscard]] virtual bool locality_aware() const { return false; }
+  void note_evicted(std::size_t count) override { pending_ -= count; }
 
  private:
   std::size_t next_ = 0;
@@ -166,6 +179,7 @@ class DmScheduler : public Scheduler {
   /// Completion-time slack within which the lowest-energy worker wins
   /// (dmdae); 0 disables the energy objective.
   [[nodiscard]] virtual double energy_slack() const { return 0.0; }
+  void note_evicted(std::size_t count) override { pending_ -= count; }
 
  private:
   std::size_t pending_ = 0;

@@ -16,6 +16,7 @@
 #include "hw/link_model.hpp"
 #include "rt/task.hpp"
 #include "rt/types.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace greencap::rt {
@@ -37,8 +38,16 @@ class Worker {
 
   // -- live state (owned by Runtime) --------------------------------------
   bool busy = false;
+  /// Removed from service (device dropout): ineligible for any task, its
+  /// queue drained and its in-flight work requeued elsewhere.
+  bool quarantined = false;
   /// Virtual time at which the in-flight task (if any) retires.
   sim::SimTime busy_until;
+  /// The task currently executing (null when idle) and the simulator
+  /// events driving it — kept so a dropout can cancel and requeue it.
+  Task* inflight = nullptr;
+  sim::EventId begin_event;
+  sim::EventId end_event;
   /// Scheduler's accumulated completion-time estimate for the queue.
   sim::SimTime expected_free;
   /// Next instant the worker's host<->device link is free (CUDA only).

@@ -1,0 +1,133 @@
+// FaultInjector semantics: virtual-clock windows, deterministic replay,
+// timed-event delivery and cancellation.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace greencap::fault {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+TEST(Injector, CapfailWindowUsesRawClock) {
+  // Caps are applied before arming, so a capfail window must trigger on
+  // the raw virtual clock even on an unarmed injector.
+  FaultInjector inj{FaultPlan::parse("capfail@gpu0:t=1,until=2,perm=1"), kSeed};
+  EXPECT_FALSE(inj.cap_write_error(0, sim::SimTime::seconds(0.5)).has_value());
+  EXPECT_TRUE(inj.cap_write_error(0, sim::SimTime::seconds(1.5)).has_value());
+  EXPECT_FALSE(inj.cap_write_error(0, sim::SimTime::seconds(2.5)).has_value());
+  EXPECT_FALSE(inj.cap_write_error(1, sim::SimTime::seconds(1.5)).has_value());  // other GPU
+  EXPECT_EQ(inj.counts().cap_write_failures, 1u);
+}
+
+TEST(Injector, CapfailCountConsumesBudget) {
+  FaultInjector inj{FaultPlan::parse("capfail@gpu1:count=2,code=not_supported"), kSeed};
+  const sim::SimTime t = sim::SimTime::zero();
+  ASSERT_TRUE(inj.cap_write_error(1, t).has_value());
+  EXPECT_EQ(*inj.cap_write_error(1, t), CapError::kNotSupported);
+  EXPECT_FALSE(inj.cap_write_error(1, t).has_value());  // budget spent
+  EXPECT_EQ(inj.counts().cap_write_failures, 2u);
+}
+
+TEST(Injector, ProbabilisticCapfailReplaysBitIdentically) {
+  const auto roll = [](std::uint64_t seed) {
+    FaultInjector inj{FaultPlan::parse("capfail@any:p=0.5"), seed};
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(inj.cap_write_error(i % 4, sim::SimTime::zero()).has_value());
+    }
+    return fired;
+  };
+  EXPECT_EQ(roll(1), roll(1));
+  EXPECT_NE(roll(1), roll(2));  // a different seed gives a different sequence
+}
+
+TEST(Injector, StragglerWindowIsArmingRelative) {
+  FaultInjector inj{FaultPlan::parse("straggler@gpu0:t=1,until=3,factor=2.5"), kSeed};
+  // Unarmed: no window can be active.
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, sim::SimTime::seconds(2.0)), 1.0);
+
+  sim::Simulator sim;
+  sim.at(sim::SimTime::seconds(10.0), [] {});
+  sim.run();  // advance the clock so arming origin is not zero
+  inj.arm(sim);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, sim::SimTime::seconds(10.5)), 1.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, sim::SimTime::seconds(11.5)), 2.5);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(1, sim::SimTime::seconds(11.5)), 1.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, sim::SimTime::seconds(13.5)), 1.0);
+}
+
+TEST(Injector, OverlappingStragglersTakeWorstFactor) {
+  FaultInjector inj{
+      FaultPlan::parse("straggler@gpu0:t=0,until=5,factor=2;straggler@any:t=1,until=2,factor=3"),
+      kSeed};
+  sim::Simulator sim;
+  inj.arm(sim);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, sim::SimTime::seconds(0.5)), 2.0);
+  EXPECT_DOUBLE_EQ(inj.straggler_factor(0, sim::SimTime::seconds(1.5)), 3.0);
+}
+
+TEST(Injector, TimedFaultsFireAtScheduledInstant) {
+  FaultInjector inj{FaultPlan::parse("dropout@gpu2:t=5;energyreset@gpu1:t=3;drift@gpu0:t=4,watts=150"),
+                    kSeed};
+  sim::Simulator sim;
+  std::vector<std::pair<int, double>> dropouts, resets;
+  std::vector<double> drift_watts;
+  inj.on_dropout([&](int gpu, sim::SimTime now) { dropouts.emplace_back(gpu, now.sec()); });
+  inj.on_energy_reset([&](int gpu, sim::SimTime now) { resets.emplace_back(gpu, now.sec()); });
+  inj.on_drift([&](int, double, double watts, sim::SimTime) { drift_watts.push_back(watts); });
+  inj.arm(sim);
+  EXPECT_FALSE(inj.dropped(2));
+  sim.run();
+  ASSERT_EQ(dropouts.size(), 1u);
+  EXPECT_EQ(dropouts[0].first, 2);
+  EXPECT_DOUBLE_EQ(dropouts[0].second, 5.0);
+  ASSERT_EQ(resets.size(), 1u);
+  EXPECT_DOUBLE_EQ(resets[0].second, 3.0);
+  ASSERT_EQ(drift_watts.size(), 1u);
+  EXPECT_DOUBLE_EQ(drift_watts[0], 150.0);
+  EXPECT_TRUE(inj.dropped(2));
+  EXPECT_FALSE(inj.dropped(0));
+  EXPECT_EQ(inj.counts().dropouts, 1u);
+  EXPECT_EQ(inj.counts().energy_resets, 1u);
+  EXPECT_EQ(inj.counts().drifts, 1u);
+}
+
+TEST(Injector, CancelPendingSuppressesUnfiredFaults) {
+  FaultInjector inj{FaultPlan::parse("dropout@gpu0:t=10"), kSeed};
+  sim::Simulator sim;
+  int fired = 0;
+  inj.on_dropout([&](int, sim::SimTime) { ++fired; });
+  inj.arm(sim);
+  inj.cancel_pending();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(inj.dropped(0));
+}
+
+TEST(Injector, ArmTwiceThrows) {
+  FaultInjector inj{FaultPlan{}, kSeed};
+  sim::Simulator sim;
+  inj.arm(sim);
+  EXPECT_THROW(inj.arm(sim), std::logic_error);
+}
+
+TEST(Injector, MetricsCountInjectedFaults) {
+  obs::MetricsRegistry metrics;
+  FaultInjector inj{FaultPlan::parse("dropout@gpu0:t=1;capfail@gpu1:perm=1"), kSeed};
+  inj.set_metrics(&metrics);
+  sim::Simulator sim;
+  inj.arm(sim);
+  (void)inj.cap_write_error(1, sim::SimTime::zero());
+  sim.run();
+  EXPECT_EQ(metrics.counter("fault.injected.dropout").value(), 1u);
+  EXPECT_EQ(metrics.counter("fault.injected.capfail").value(), 1u);
+}
+
+}  // namespace
+}  // namespace greencap::fault

@@ -1,0 +1,148 @@
+// PowerManager resilience: bounded retry with virtual-time backoff,
+// all-or-nothing rollback, graceful degradation and cap reconciliation,
+// exercised against injected NVML failures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "hw/presets.hpp"
+#include "obs/metrics.hpp"
+#include "power/manager.hpp"
+
+namespace greencap::power {
+namespace {
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  ResilienceTest() : platform_{hw::presets::platform_32_amd_4_a100()}, mgr_{platform_, sim_} {}
+
+  hw::Platform platform_;
+  sim::Simulator sim_;
+  PowerManager mgr_;
+};
+
+TEST_F(ResilienceTest, RetryWithBackoffSurvivesTransientFailures) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("capfail@gpu0:count=2"), 1};
+  mgr_.attach_faults(inj);
+  obs::MetricsRegistry metrics;
+  mgr_.set_metrics(&metrics);
+  PowerResilience res;
+  res.max_retries = 3;
+  mgr_.set_resilience(res);
+
+  const sim::SimTime t0 = sim_.now();
+  mgr_.apply(GpuConfig::parse("LLLL"));
+  EXPECT_DOUBLE_EQ(platform_.gpu(0).power_cap(), 100.0);
+  // Two failed attempts -> two backoffs (1 ms, then 2 ms) in virtual time.
+  EXPECT_NEAR((sim_.now() - t0).sec(), 0.003, 1e-9);
+  EXPECT_EQ(metrics.counter("power.cap_write_retries").value(), 2u);
+  EXPECT_EQ(inj.counts().cap_write_failures, 2u);
+}
+
+TEST_F(ResilienceTest, ExhaustedRetriesRollBackEarlierGpus) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("capfail@gpu2:perm=1"), 1};
+  mgr_.attach_faults(inj);
+  PowerResilience res;
+  res.max_retries = 1;
+  mgr_.set_resilience(res);
+
+  EXPECT_THROW(mgr_.apply(GpuConfig::parse("LLLL")), std::runtime_error);
+  // gpu0/gpu1 were written to 100 W before gpu2 failed; the rollback must
+  // have restored them, and gpu3 must never have been touched.
+  for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+    EXPECT_DOUBLE_EQ(platform_.gpu(g).power_cap(), 400.0) << "gpu" << g;
+  }
+}
+
+TEST_F(ResilienceTest, DegradationFallsBackToDefaultLimit) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("capfail@gpu2:count=1"), 1};
+  mgr_.attach_faults(inj);
+  PowerResilience res;
+  res.max_retries = 0;
+  res.allow_degradation = true;
+  mgr_.set_resilience(res);
+  fault::DegradationReport report;
+  mgr_.set_degradation(&report);
+
+  mgr_.apply(GpuConfig::parse("LLLL"));  // no throw
+  EXPECT_DOUBLE_EQ(platform_.gpu(0).power_cap(), 100.0);
+  EXPECT_DOUBLE_EQ(platform_.gpu(1).power_cap(), 100.0);
+  EXPECT_DOUBLE_EQ(platform_.gpu(2).power_cap(), 400.0);  // degraded L -> H
+  EXPECT_DOUBLE_EQ(platform_.gpu(3).power_cap(), 100.0);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.events()[0].component, "power");
+  EXPECT_EQ(report.events()[0].detail, "gpu2");
+}
+
+TEST_F(ResilienceTest, DroppedDeviceFailsFastAndRollsBack) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("dropout@gpu1:t=0"), 1};
+  mgr_.attach_faults(inj);
+  inj.arm(sim_);
+  sim_.run();
+  ASSERT_TRUE(inj.dropped(1));
+
+  const sim::SimTime t0 = sim_.now();
+  EXPECT_THROW(mgr_.apply(GpuConfig::parse("LLLL")), std::runtime_error);
+  EXPECT_DOUBLE_EQ(platform_.gpu(0).power_cap(), 400.0);  // rolled back
+  // kNotFound is not retryable: no backoff time may have been burned.
+  EXPECT_DOUBLE_EQ((sim_.now() - t0).sec(), 0.0);
+}
+
+TEST_F(ResilienceTest, ReconciliationReassertsDriftedCap) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("drift@gpu1:t=0.05,watts=300"), 1};
+  mgr_.attach_faults(inj);
+  fault::DegradationReport report;
+  mgr_.set_degradation(&report);
+  mgr_.apply(GpuConfig::parse("LLLL"));
+
+  std::vector<std::size_t> reasserted;
+  mgr_.start_reconciliation(sim::SimTime::millis(10),
+                            [&](std::size_t g) { reasserted.push_back(g); });
+  inj.arm(sim_);
+  sim_.run_until(sim::SimTime::seconds(0.2));
+  mgr_.stop_reconciliation();
+
+  EXPECT_DOUBLE_EQ(platform_.gpu(1).power_cap(), 100.0);  // back at L
+  ASSERT_EQ(reasserted.size(), 1u);
+  EXPECT_EQ(reasserted[0], 1u);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.events()[0].detail, "gpu1");
+  EXPECT_NE(report.events()[0].reason.find("re-asserted"), std::string::npos);
+}
+
+TEST_F(ResilienceTest, ReconciliationSkipsUnmanagedAndDroppedGpus) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("dropout@gpu0:t=0.01"), 1};
+  mgr_.attach_faults(inj);
+  obs::MetricsRegistry metrics;
+  mgr_.set_metrics(&metrics);
+  mgr_.apply(GpuConfig::parse("LLLL"));
+  mgr_.start_reconciliation(sim::SimTime::millis(10));
+  inj.arm(sim_);
+  sim_.run_until(sim::SimTime::seconds(0.1));
+  mgr_.stop_reconciliation();
+  // 10 periods x 4 GPUs, minus the dropped gpu0 after t=0.01: strictly
+  // fewer checks than the full grid, and nothing re-asserted.
+  EXPECT_LT(metrics.counter("power.reconcile_checks").value(), 40u);
+  EXPECT_EQ(metrics.counter("power.reconcile_reasserts").value(), 0u);
+}
+
+TEST_F(ResilienceTest, StartReconciliationValidatesPeriod) {
+  EXPECT_THROW(mgr_.start_reconciliation(sim::SimTime::zero()), std::invalid_argument);
+  EXPECT_FALSE(mgr_.reconciling());
+}
+
+TEST_F(ResilienceTest, ResetAuditsFailedRestores) {
+  fault::FaultInjector inj{fault::FaultPlan::parse("capfail@any:perm=1"), 1};
+  mgr_.attach_faults(inj);
+  obs::MetricsRegistry metrics;
+  mgr_.set_metrics(&metrics);
+  fault::DegradationReport report;
+  mgr_.set_degradation(&report);
+  mgr_.reset();
+  EXPECT_EQ(metrics.counter("power.reset_failures").value(), platform_.gpu_count());
+  EXPECT_EQ(report.size(), platform_.gpu_count());
+}
+
+}  // namespace
+}  // namespace greencap::power

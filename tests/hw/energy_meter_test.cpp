@@ -53,5 +53,55 @@ TEST(EnergyMeter, TracksLastUpdate) {
   EXPECT_EQ(meter.last_update(), SimTime::seconds(3.0));
 }
 
+TEST(MonotonicEnergyTracker, PassesThroughMonotoneReadings) {
+  MonotonicEnergyTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.update(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(tracker.update(25.0), 25.0);
+  EXPECT_DOUBLE_EQ(tracker.update(25.0), 25.0);  // equal reading is not a reset
+  EXPECT_EQ(tracker.resets_seen(), 0);
+}
+
+TEST(MonotonicEnergyTracker, FoldsBackwardsJumpIntoOffset) {
+  MonotonicEnergyTracker tracker;
+  tracker.update(100.0);
+  // Counter restarts from zero; 100 J accumulated before the reset must
+  // survive in the reconstructed total.
+  EXPECT_DOUBLE_EQ(tracker.update(5.0), 105.0);
+  EXPECT_DOUBLE_EQ(tracker.update(20.0), 120.0);
+  EXPECT_EQ(tracker.resets_seen(), 1);
+}
+
+TEST(MonotonicEnergyTracker, SurvivesRepeatedWraparounds) {
+  MonotonicEnergyTracker tracker;
+  tracker.update(50.0);
+  tracker.update(10.0);  // reset 1: offset 50
+  tracker.update(40.0);
+  tracker.update(2.0);   // reset 2: offset 90
+  EXPECT_DOUBLE_EQ(tracker.total(), 92.0);
+  EXPECT_EQ(tracker.resets_seen(), 2);
+}
+
+TEST(MonotonicEnergyTracker, NoteResetCatchesWhatTheHeuristicMisses) {
+  MonotonicEnergyTracker tracker;
+  tracker.update(100.0);
+  tracker.note_reset();  // observed directly (driver reload at this instant)
+  // The counter restarts and climbs PAST its pre-reset value before the
+  // next reading — a backwards-jump heuristic alone would see 100 -> 150
+  // as monotone and silently lose the first 100 J.
+  EXPECT_DOUBLE_EQ(tracker.update(150.0), 250.0);
+  EXPECT_EQ(tracker.resets_seen(), 1);
+}
+
+TEST(MonotonicEnergyTracker, TotalReflectsLatestState) {
+  MonotonicEnergyTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.total(), 0.0);
+  tracker.update(7.5);
+  EXPECT_DOUBLE_EQ(tracker.total(), 7.5);
+  tracker.note_reset();
+  EXPECT_DOUBLE_EQ(tracker.total(), 7.5);
+  tracker.update(0.5);
+  EXPECT_DOUBLE_EQ(tracker.total(), 8.0);
+}
+
 }  // namespace
 }  // namespace greencap::hw

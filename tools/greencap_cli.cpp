@@ -54,7 +54,15 @@ namespace {
       "  --telemetry-json FILE    telemetry series as JSON\n"
       "  --telemetry-csv FILE     telemetry series as CSV\n"
       "  --decisions-json FILE    scheduler decision log\n"
-      "  --model-report           print perf-model accuracy per codelet/arch\n",
+      "  --model-report           print perf-model accuracy per codelet/arch\n"
+      "fault injection / resilience (docs/ROBUSTNESS.md):\n"
+      "  --faults SPEC            fault plan: kind@gpuN:key=val,... (';'-separated)\n"
+      "                           or @FILE for a JSON plan\n"
+      "  --fault-seed N           injector RNG seed (default: derived from --seed)\n"
+      "  --reconcile-ms N         verify/re-assert cap drift every N virtual ms\n"
+      "  --degrade                fall back to H on cap failure instead of aborting\n"
+      "  --cap-retries N          retry budget per cap write (default 3)\n"
+      "  --degradation-json FILE  degradation report export\n",
       argv0);
   std::exit(code);
 }
@@ -93,6 +101,7 @@ int main(int argc, char** argv) {
   std::optional<int> nb_override;
   std::string config_text;
   std::string trace_json, metrics_json, telemetry_json, telemetry_csv, decisions_json;
+  std::string degradation_json;
   bool model_report = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -119,11 +128,29 @@ int main(int argc, char** argv) {
         match_value("--metrics-json", &metrics_json) ||
         match_value("--telemetry-json", &telemetry_json) ||
         match_value("--telemetry-csv", &telemetry_csv) ||
-        match_value("--decisions-json", &decisions_json)) {
+        match_value("--decisions-json", &decisions_json) ||
+        match_value("--faults", &cfg.resilience.faults) ||
+        match_value("--degradation-json", &degradation_json)) {
       continue;
     }
     if (match_value("--telemetry-period-ms", &value)) {
       cfg.obs.telemetry_period_ms = std::atof(value.c_str());
+      continue;
+    }
+    if (match_value("--fault-seed", &value)) {
+      cfg.resilience.fault_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (match_value("--reconcile-ms", &value)) {
+      cfg.resilience.reconcile_ms = std::atof(value.c_str());
+      continue;
+    }
+    if (match_value("--cap-retries", &value)) {
+      cfg.resilience.max_cap_retries = std::atoi(value.c_str());
+      continue;
+    }
+    if (arg == "--degrade") {
+      cfg.resilience.degrade = true;
       continue;
     }
     if (arg == "--model-report") {
@@ -211,6 +238,23 @@ int main(int argc, char** argv) {
   try {
     const core::ExperimentResult result = core::run_experiment(cfg);
     print_result("experiment", result);
+    if (cfg.resilience.any()) {
+      const auto& fc = result.fault_counts;
+      std::printf("  faults      : %llu capfail, %llu drift, %llu energy-reset, "
+                  "%llu dropout (%d counter reset(s) reconstructed)\n",
+                  static_cast<unsigned long long>(fc.cap_write_failures),
+                  static_cast<unsigned long long>(fc.drifts),
+                  static_cast<unsigned long long>(fc.energy_resets),
+                  static_cast<unsigned long long>(fc.dropouts),
+                  result.energy_counter_resets);
+      if (!result.degradation.empty()) {
+        std::printf("degradations:\n%s", result.degradation.to_string().c_str());
+      }
+    }
+    if (!degradation_json.empty()) {
+      write_file(degradation_json, "degradation",
+                 [&](std::ostream& os) { result.degradation.write_json(os); });
+    }
     if (result.observability != nullptr) {
       const core::ObservabilityData& data = *result.observability;
       if (!trace_json.empty()) {
