@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: the online controller recovers most of the static P_best gain and "
                "lands near the offline optimum, paying only the exploration cost of its "
                "early windows.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -33,5 +33,6 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: the dm family needs calibrated models to exploit unbalanced caps; "
                "eager/random degrade once the GPUs become heterogeneous. dmdae trades a "
                "little makespan for extra Gflop/s/W via energy-aware placement.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

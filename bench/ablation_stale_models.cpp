@@ -33,5 +33,6 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: with stale models the dmdas scheduler splits work as if all GPUs "
                "were equal, so unbalanced configurations lose their advantage — quantifying "
                "why the paper recalibrates after every power-cap modification.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

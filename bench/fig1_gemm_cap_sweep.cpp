@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
   sweep_table(cli, hw::Precision::kSingle);
   std::cout << "\nPaper anchors: double peak at 54 % TDP (saving 28.81 %, slowdown 22.93 %); "
                "single peak at 40 % TDP (saving 27.76 %).\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

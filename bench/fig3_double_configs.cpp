@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper anchors (32-AMD-4-A100, double): BBBB ~ +20 % efficiency at ~ -21 % "
                "performance; LLLL ~ -80 % performance and ~ +60 % energy consumption; HHHB "
                "saves ~4 % energy.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper anchors (32-AMD-4-A100, single): BBBB +33.78 % efficiency for GEMM; "
                "POTRF ~ -25 % energy at -28.6 % performance; on 64-AMD-2-A100 LL and BB "
                "coincide (both 150 W).\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

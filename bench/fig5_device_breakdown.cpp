@@ -34,5 +34,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nPaper observation: CPU share grows when GPUs are capped (more tasks shift to "
                "the much less energy-efficient CPUs), which is why LL raises total energy.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -32,5 +32,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nPaper anchors: >10 % efficiency improvement, up to 14 % for GEMM, with no "
                "performance loss; improvement across all configurations.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper observation: the same conclusions hold across tile sizes — all-B gives "
                "the best efficiency, partial capping still improves it, and lower precision "
                "benefits more.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -15,7 +15,11 @@
 #include "core/experiment.hpp"
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
+#include "obs/artifact.hpp"
+#include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+#include "prof/html_report.hpp"
+#include "prof/profile.hpp"
 
 namespace greencap::bench {
 
@@ -27,7 +31,11 @@ struct Cli {
   // what you want for a Perfetto look at the schedule).
   std::string trace_json;
   std::string metrics_json;
+  std::string profile_json;
+  std::string profile_html;
   double telemetry_period_ms = 0.0;
+  /// Machine-readable per-figure summary (every table the binary emits).
+  std::string summary_json;
   // Fault-injection / resilience pass-through (docs/ROBUSTNESS.md); applied
   // to every experiment the binary runs, unlike the one-shot capture above.
   core::ResilienceConfig resilience;
@@ -53,6 +61,12 @@ struct Cli {
         cli.trace_json = value();
       } else if (arg.rfind("--metrics-json", 0) == 0) {
         cli.metrics_json = value();
+      } else if (arg.rfind("--profile-json", 0) == 0) {
+        cli.profile_json = value();
+      } else if (arg.rfind("--profile-html", 0) == 0) {
+        cli.profile_html = value();
+      } else if (arg.rfind("--summary-json", 0) == 0) {
+        cli.summary_json = value();
       } else if (arg.rfind("--telemetry-period-ms", 0) == 0) {
         cli.telemetry_period_ms = std::atof(value().c_str());
       } else if (arg.rfind("--faults", 0) == 0) {
@@ -73,6 +87,9 @@ struct Cli {
                   << "  --quick                  coarser sweeps (CI smoke mode)\n"
                   << "  --trace-json FILE        Perfetto export of the first experiment\n"
                   << "  --metrics-json FILE      metrics snapshot of the first experiment\n"
+                  << "  --profile-json FILE      energy-attribution profile of the first run\n"
+                  << "  --profile-html FILE      self-contained HTML report of the first run\n"
+                  << "  --summary-json FILE      machine-readable summary of every table\n"
                   << "  --telemetry-period-ms N  telemetry sampling period for the capture\n"
                   << "  --faults SPEC            fault plan (kind@gpuN:k=v,... or @FILE)\n"
                   << "  --fault-seed N           injector RNG seed\n"
@@ -89,7 +106,8 @@ struct Cli {
   }
 
   [[nodiscard]] bool observability_requested() const {
-    return !trace_json.empty() || !metrics_json.empty() || telemetry_period_ms > 0.0;
+    return !trace_json.empty() || !metrics_json.empty() || !profile_json.empty() ||
+           !profile_html.empty() || telemetry_period_ms > 0.0;
   }
 
   /// Copies the resilience knobs onto `cfg` (no-op with default knobs).
@@ -103,35 +121,116 @@ struct Cli {
     }
     cfg.obs.trace = !trace_json.empty();
     cfg.obs.metrics = !metrics_json.empty();
+    cfg.obs.profile = !profile_json.empty() || !profile_html.empty();
     cfg.obs.telemetry_period_ms =
-        telemetry_period_ms > 0.0 ? telemetry_period_ms : (trace_json.empty() ? 0.0 : 10.0);
+        telemetry_period_ms > 0.0
+            ? telemetry_period_ms
+            : ((trace_json.empty() && !cfg.obs.profile) ? 0.0 : 10.0);
   }
 
-  /// Writes the capture files the first time a result carries them.
+  /// Writes the capture files the first time a result carries them. Any
+  /// failed write exits nonzero — a truncated artifact must not look like
+  /// a successful run.
   void maybe_export(const core::ExperimentResult& result) const {
     if (captured_ || result.observability == nullptr) {
       return;
     }
     captured_ = true;
     const core::ObservabilityData& data = *result.observability;
+    auto checked = [](const std::string& path, const char* what, auto&& writer) {
+      if (!greencap::obs::write_artifact(path, what, writer)) {
+        std::exit(1);
+      }
+      std::cerr << "wrote " << what << ": " << path << "\n";
+    };
     if (!trace_json.empty()) {
-      std::ofstream os{trace_json};
-      core::ObservabilityData const& d = data;
-      greencap::obs::ChromeTraceOptions opts;
-      opts.telemetry = &d.telemetry;
-      opts.worker_names = d.worker_names;
-      greencap::obs::write_chrome_trace(os, d.trace, opts);
-      std::cerr << "wrote trace: " << trace_json << "\n";
+      checked(trace_json, "trace", [&](std::ostream& os) {
+        greencap::obs::ChromeTraceOptions opts;
+        opts.telemetry = &data.telemetry;
+        opts.worker_names = data.worker_names;
+        greencap::obs::write_chrome_trace(os, data.trace, opts);
+      });
     }
     if (!metrics_json.empty()) {
-      std::ofstream os{metrics_json};
-      data.metrics.write_json(os);
-      std::cerr << "wrote metrics: " << metrics_json << "\n";
+      checked(metrics_json, "metrics", [&](std::ostream& os) { data.metrics.write_json(os); });
+    }
+    if (!profile_json.empty() || !profile_html.empty()) {
+      prof::AnalyzeOptions popts;
+      popts.decisions = &data.decisions;
+      popts.telemetry = &data.telemetry;
+      const prof::Profile profile = prof::analyze(data.capture, popts);
+      if (!profile_json.empty()) {
+        checked(profile_json, "profile", [&](std::ostream& os) { profile.write_json(os); });
+      }
+      if (!profile_html.empty()) {
+        checked(profile_html, "report",
+                [&](std::ostream& os) { prof::write_html_report(os, profile); });
+      }
     }
   }
 
+  /// Records one emitted table for the --summary-json export.
+  void record_figure(const core::Table& table, const std::string& title) const {
+    if (summary_json.empty()) {
+      return;
+    }
+    SummaryFigure fig;
+    fig.title = title;
+    fig.columns = table.headers();
+    fig.rows = table.row_cells();
+    figures_.push_back(std::move(fig));
+  }
+
+  /// Writes BENCH_summary.json-style output: every table the binary
+  /// emitted, verbatim cells under their column names. Call at the end of
+  /// main; exits nonzero if the write fails.
+  void write_summary(const char* argv0) const {
+    if (summary_json.empty()) {
+      return;
+    }
+    std::string binary{argv0 != nullptr ? argv0 : "bench"};
+    const auto slash = binary.find_last_of('/');
+    if (slash != std::string::npos) {
+      binary = binary.substr(slash + 1);
+    }
+    const bool ok = greencap::obs::write_artifact(
+        summary_json, "summary", [&](std::ostream& os) {
+          os << "{\"schema_version\":1,\"binary\":" << obs::json_string(binary)
+             << ",\"figures\":[";
+          for (std::size_t f = 0; f < figures_.size(); ++f) {
+            const SummaryFigure& fig = figures_[f];
+            os << (f ? ",\n" : "\n") << "{\"title\":" << obs::json_string(fig.title)
+               << ",\"columns\":[";
+            for (std::size_t c = 0; c < fig.columns.size(); ++c) {
+              os << (c ? "," : "") << obs::json_string(fig.columns[c]);
+            }
+            os << "],\"rows\":[";
+            for (std::size_t r = 0; r < fig.rows.size(); ++r) {
+              os << (r ? "," : "") << "[";
+              for (std::size_t c = 0; c < fig.rows[r].size(); ++c) {
+                os << (c ? "," : "") << obs::json_string(fig.rows[r][c]);
+              }
+              os << "]";
+            }
+            os << "]}";
+          }
+          os << "\n]}\n";
+        });
+    if (!ok) {
+      std::exit(1);
+    }
+    std::cerr << "wrote summary: " << summary_json << "\n";
+  }
+
  private:
+  struct SummaryFigure {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
   mutable bool captured_ = false;
+  mutable std::vector<SummaryFigure> figures_;
 };
 
 inline void emit(const core::Table& table, const Cli& cli, const std::string& title) {
@@ -141,6 +240,7 @@ inline void emit(const core::Table& table, const Cli& cli, const std::string& ti
     std::cout << "--- csv ---\n";
     table.write_csv(std::cout);
   }
+  cli.record_figure(table, title);
   std::cout.flush();
 }
 

@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: the L configurations never make the front (dominated on both "
                "axes); the front runs from HHHH (fastest) through the partial-B configs to "
                "BBBB (most energy-frugal) — the paper's trade-off knob, made explicit.\n";
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
                     core::fmt(-v_capped.perf_delta_pct(v_plain), 2), "~0"});
 
   bench::emit(headline, cli, "Section V-D — headline results");
+  cli.write_summary(argv[0]);
   return 0;
 }

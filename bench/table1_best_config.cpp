@@ -21,5 +21,6 @@ int main(int argc, char** argv) {
                    core::fmt(row.published_saving_pct, 2), core::fmt(sweep.slowdown_pct(), 2)});
   }
   bench::emit(table, cli, "Table I — best configuration for energy efficiency per GPU/precision");
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -24,5 +24,6 @@ int main(int argc, char** argv) {
                    core::fmt(gpu.min_cap_w, 0), core::fmt(gpu.tdp_w, 0)});
   }
   bench::emit(table, cli, "Table II — matrix/tile sizes and GPU power limits per platform");
+  cli.write_summary(argv[0]);
   return 0;
 }

@@ -76,6 +76,77 @@ double ExperimentResult::efficiency_gain_pct(const ExperimentResult& baseline) c
 
 namespace {
 
+/// Fills the profiler's run capture: metadata, device records (metered
+/// joules, static floors, cap context, modeled H/B/L rate scales for the
+/// what-if estimator) and — via the runtime — the realized task graph.
+/// Must run while the platform and power manager are still alive.
+void fill_capture(prof::RunCapture& capture, const ExperimentConfig& config,
+                  const hw::Platform& platform, const power::PowerManager& manager,
+                  const rt::Runtime& runtime, const sim::Simulator& simulator,
+                  sim::SimTime t_begin, const ExperimentResult& result) {
+  capture.platform = config.platform;
+  capture.operation = to_string(config.op);
+  capture.precision = hw::to_string(config.precision);
+  capture.scheduler = config.scheduler;
+  capture.gpu_config = config.gpu_config.size() != 0
+                           ? config.gpu_config.to_string()
+                           : std::string(platform.gpu_count(), 'H');
+  capture.n = config.n;
+  capture.nb = config.nb;
+  capture.t_begin_s = t_begin.sec();
+  capture.t_end_s = simulator.now().sec();
+  capture.makespan_s = result.stats.makespan.sec();
+  capture.total_flops = operation_flops(config.op, static_cast<double>(config.n));
+
+  // Representative kernel for the what-if rate probes: a GEMM tile at the
+  // run's block size (the cap sweep's own yardstick).
+  hw::KernelWork probe_work;
+  probe_work.klass = hw::KernelClass::kGemm;
+  probe_work.precision = config.precision;
+  probe_work.flops = 1.0;
+  probe_work.work_dim = static_cast<double>(config.nb);
+
+  for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
+    const hw::GpuModel& gpu = platform.gpu(g);
+    prof::DeviceRecord dev;
+    dev.kind = prof::DeviceKind::kGpu;
+    dev.index = static_cast<std::int32_t>(g);
+    dev.name = gpu.spec().name;
+    dev.metered_j = g < result.energy.gpu_joules.size() ? result.energy.gpu_joules[g] : 0.0;
+    dev.static_w = gpu.spec().idle_w;
+    dev.cap_w = gpu.power_cap();
+    dev.level = config.gpu_config.size() != 0 ? power::to_char(config.gpu_config.level(g)) : 'H';
+    // Modeled kernel rate at each cap level, relative to H — probed on
+    // throwaway model instances so the live device's state is untouched.
+    auto rate_at = [&](power::Level level) {
+      hw::GpuModel probe{gpu.spec(), static_cast<std::int32_t>(g)};
+      probe.set_power_cap(manager.watts_for(g, level), sim::SimTime::zero());
+      return probe.rate_gflops(probe_work);
+    };
+    const double rate_h = rate_at(power::Level::kHigh);
+    if (rate_h > 0.0) {
+      dev.rate_scale_h = 1.0;
+      dev.rate_scale_b = rate_at(power::Level::kBest) / rate_h;
+      dev.rate_scale_l = rate_at(power::Level::kLow) / rate_h;
+    }
+    capture.devices.push_back(std::move(dev));
+  }
+  for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
+    const hw::CpuModel& cpu = platform.cpu(p);
+    prof::DeviceRecord dev;
+    dev.kind = prof::DeviceKind::kCpu;
+    dev.index = static_cast<std::int32_t>(p);
+    dev.name = cpu.spec().name;
+    dev.metered_j = p < result.energy.cpu_joules.size() ? result.energy.cpu_joules[p] : 0.0;
+    dev.static_w = cpu.spec().uncore_w;
+    dev.cap_w = cpu.power_cap();
+    dev.rate_scale_h = 1.0;
+    capture.devices.push_back(std::move(dev));
+  }
+
+  runtime.export_capture(capture);
+}
+
 template <typename T>
 ExperimentResult run_typed(const ExperimentConfig& config) {
   hw::Platform platform{hw::presets::platform_by_name(config.platform)};
@@ -119,6 +190,7 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   // history model would heal itself after one task per worker.
   options.update_perf_model = !config.stale_models;
   options.enable_trace = config.obs.trace;
+  options.profile = config.obs.profile;
   if (obs_data != nullptr) {
     if (config.obs.metrics) {
       options.metrics = &obs_data->metrics;
@@ -235,6 +307,10 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   if (config.obs.telemetry_period_ms > 0.0) {
     sampler.start(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
   }
+  // Instant of the start-of-window energy read: calibration (which never
+  // advances the clock) is behind us, but resilient cap writes may have —
+  // so read the clock here, not at zero.
+  const sim::SimTime t_begin = simulator.now();
   switch (config.op) {
     case Operation::kGemm: {
       la::TileMatrix<T> b{config.n, config.nb, allocate, "B"};
@@ -312,6 +388,10 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
     obs_data->trace = runtime.trace();
     obs_data->telemetry = sampler.series();
     obs_data->worker_names = runtime.worker_names();
+    if (config.obs.profile) {
+      fill_capture(obs_data->capture, config, platform, manager, runtime, simulator, t_begin,
+                   result);
+    }
     result.observability = std::move(obs_data);
   }
   return result;

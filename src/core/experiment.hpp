@@ -28,6 +28,7 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "power/config.hpp"
+#include "prof/capture.hpp"
 #include "rt/runtime.hpp"
 #include "sim/trace.hpp"
 
@@ -56,9 +57,12 @@ struct ObservabilityOptions {
   bool decision_log = false;
   /// Virtual-time telemetry sampling period; 0 disables the sampler.
   double telemetry_period_ms = 0.0;
+  /// Capture the realized task graph + per-task attributed power for the
+  /// energy-attribution profiler (prof::analyze).
+  bool profile = false;
 
   [[nodiscard]] bool any() const {
-    return trace || metrics || decision_log || telemetry_period_ms > 0.0;
+    return trace || metrics || decision_log || profile || telemetry_period_ms > 0.0;
   }
 };
 
@@ -70,6 +74,8 @@ struct ObservabilityData {
   obs::TelemetrySeries telemetry;
   obs::DecisionLog decisions;
   std::vector<std::string> worker_names;  ///< trace-export row labels
+  /// Profiler input (empty unless ObservabilityOptions::profile).
+  prof::RunCapture capture;
 };
 
 /// Fault-injection and resilience knobs (docs/ROBUSTNESS.md). Everything

@@ -23,6 +23,9 @@ class Table {
   void write_csv(std::ostream& os) const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  /// Raw cells, for machine-readable exports (BENCH_summary.json).
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_cells() const { return rows_; }
 
  private:
   std::vector<std::string> headers_;

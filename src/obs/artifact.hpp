@@ -1,0 +1,38 @@
+// Checked artifact export.
+//
+// Every --*-json/--*-csv/--*-html writer in the tools and benchmarks goes
+// through write_artifact: open the file, run the writer, flush, and verify
+// the stream survived all three. A full disk or yanked directory turns
+// into a clear stderr message and a false return (callers exit nonzero)
+// instead of a silently truncated artifact.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+namespace greencap::obs {
+
+/// Writes `writer(std::ostream&)` to `path`. Returns false — after
+/// printing "error: ..." with the path and artifact kind to stderr — if
+/// the file cannot be opened or any write/flush fails.
+template <typename Writer>
+[[nodiscard]] bool write_artifact(const std::string& path, const char* what, Writer&& writer) {
+  std::ofstream os{path, std::ios::binary};
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open %s for %s export\n", path.c_str(), what);
+    return false;
+  }
+  std::forward<Writer>(writer)(os);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "error: writing %s export to %s failed (disk full or I/O error); "
+                         "the file is incomplete\n",
+                 what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace greencap::obs

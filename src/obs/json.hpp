@@ -58,4 +58,16 @@ inline void json_append_string(std::string& out, std::string_view s) {
   return buf;
 }
 
+/// Full round-trip precision (%.17g) variant, for exports whose consumers
+/// re-verify exact accounting identities (profile.json's energy
+/// conservation check reads back the same doubles that were summed).
+[[nodiscard]] inline std::string json_number_exact(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 }  // namespace greencap::obs

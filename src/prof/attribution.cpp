@@ -1,0 +1,55 @@
+#include "prof/attribution.hpp"
+
+#include <algorithm>
+
+namespace greencap::prof {
+
+AttributionResult attribute_energy(const RunCapture& capture) {
+  AttributionResult result;
+  result.task_energy_j.reserve(capture.tasks.size());
+  result.devices.reserve(capture.devices.size());
+
+  const double window = std::max(0.0, capture.window_s());
+  for (const DeviceRecord& dev : capture.devices) {
+    DeviceAttribution a;
+    a.kind = dev.kind;
+    a.index = dev.index;
+    a.metered_j = dev.metered_j;
+    a.static_j = dev.static_w * window;
+    result.devices.push_back(a);
+  }
+
+  // Map each worker to its device slot once; tasks then accumulate in O(1).
+  std::vector<std::int64_t> worker_device(capture.workers.size(), -1);
+  for (std::size_t w = 0; w < capture.workers.size(); ++w) {
+    worker_device[w] = capture.device_of(static_cast<std::int32_t>(w));
+  }
+
+  for (const TaskRecord& task : capture.tasks) {
+    const double joules = task.energy_j();
+    result.task_energy_j.push_back(joules);
+    if (task.worker < 0 || static_cast<std::size_t>(task.worker) >= worker_device.size()) {
+      continue;
+    }
+    const std::int64_t d = worker_device[static_cast<std::size_t>(task.worker)];
+    if (d < 0) {
+      continue;
+    }
+    DeviceAttribution& a = result.devices[static_cast<std::size_t>(d)];
+    a.tasks_j += joules;
+    a.busy_s += task.duration_s();
+    ++a.task_count;
+  }
+
+  for (DeviceAttribution& a : result.devices) {
+    a.residual_j = a.metered_j - a.tasks_j - a.static_j;
+    a.idle_s = std::max(0.0, window - a.busy_s);
+    result.total_metered_j += a.metered_j;
+    result.total_tasks_j += a.tasks_j;
+    result.total_static_j += a.static_j;
+    result.total_residual_j += a.residual_j;
+  }
+  return result;
+}
+
+}  // namespace greencap::prof

@@ -1,0 +1,61 @@
+// Per-task energy attribution with exact conservation.
+//
+// Splits each device's metered joules over the measured window into three
+// buckets that sum back to the meter reading *exactly*:
+//
+//   metered = Σ task_energy + static + residual
+//
+//   task_energy — attributed dynamic draw × realized duration, recorded by
+//                 the runtime at kernel start from the device models;
+//   static      — the device's idle/uncore floor × window length, the
+//                 energy the board burns for merely being powered on;
+//   residual    — whatever the first two do not explain: mid-span cap
+//                 changes on CPU packages, the RAPL clamp at low caps,
+//                 partial kernels aborted by a device dropout, a failed
+//                 board drawing nothing while the static model says it
+//                 should. The residual is reported, never hidden — a large
+//                 |residual| flags an attribution model breakdown.
+//
+// Conservation holds by construction (the residual is the closing term),
+// so the tests assert both the identity AND that the residual stays a
+// small fraction of the metered total on clean runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prof/capture.hpp"
+
+namespace greencap::prof {
+
+struct DeviceAttribution {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::int32_t index = 0;
+  double metered_j = 0.0;
+  double tasks_j = 0.0;     ///< Σ attributed task energies on this device
+  double static_j = 0.0;    ///< static floor × window
+  double residual_j = 0.0;  ///< metered − tasks − static (may be negative)
+  double busy_s = 0.0;      ///< Σ task durations (summed across a package's cores)
+  double idle_s = 0.0;      ///< window − busy, floored at zero (per-board for GPUs)
+  std::uint64_t task_count = 0;
+
+  /// tasks + static + residual; equals metered_j to rounding error.
+  [[nodiscard]] double attributed_total_j() const { return tasks_j + static_j + residual_j; }
+};
+
+struct AttributionResult {
+  /// Parallel to RunCapture::tasks: joules attributed to each task.
+  std::vector<double> task_energy_j;
+  std::vector<DeviceAttribution> devices;  ///< same order as capture.devices
+  double total_metered_j = 0.0;
+  double total_tasks_j = 0.0;
+  double total_static_j = 0.0;
+  double total_residual_j = 0.0;
+};
+
+/// Runs the attribution over a capture. Tasks on workers whose device is
+/// unknown (malformed capture) contribute to no device bucket but still
+/// get their own task energy.
+[[nodiscard]] AttributionResult attribute_energy(const RunCapture& capture);
+
+}  // namespace greencap::prof

@@ -1,0 +1,133 @@
+// Run capture: the profiler's input.
+//
+// A RunCapture is a plain-data snapshot of one finished experiment — the
+// realized task graph (spans, dependency edges, per-task attributed device
+// power), the worker→device topology and the per-device metered energies —
+// detached from the (destroyed) platform and runtime. The prof:: analyses
+// (energy attribution, critical path, efficiency tables, what-if bounds)
+// post-process this snapshot only; nothing is re-simulated.
+//
+// The runtime fills workers/tasks (Runtime::export_capture) and the
+// experiment driver fills run metadata and device records while the
+// platform is still alive. Everything is seconds/joules/watts as doubles:
+// the capture is meant to round-trip through profile.json unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greencap::prof {
+
+enum class DeviceKind : std::uint8_t { kCpu, kGpu };
+
+[[nodiscard]] inline const char* to_string(DeviceKind kind) {
+  return kind == DeviceKind::kCpu ? "cpu" : "gpu";
+}
+
+/// One realized task execution (final attempt only: a task aborted by a
+/// device dropout and re-executed elsewhere appears once, with the times
+/// and worker of the successful run; the aborted attempt's partial energy
+/// stays in the failed device's residual).
+struct TaskRecord {
+  std::int64_t id = -1;
+  std::string label;    ///< e.g. "gemm(2,3,1)"
+  std::string codelet;  ///< codelet name, the efficiency-table key
+  std::int32_t worker = -1;
+  double ready_s = 0.0;       ///< dependencies satisfied
+  double dispatched_s = 0.0;  ///< popped by the worker; staging starts
+  double start_s = 0.0;       ///< inputs resident, execution begins
+  double end_s = 0.0;
+  double flops = 0.0;
+  /// Dynamic device draw attributed to this task while it ran (W), above
+  /// the device's static floor. Recorded by the runtime at kernel start
+  /// from the device models, so task_energy = power × duration matches the
+  /// meters without re-simulation.
+  double attributed_power_w = 0.0;
+  /// Dependency predecessors (data + explicit edges), ids < this id.
+  std::vector<std::int64_t> predecessors;
+
+  [[nodiscard]] double duration_s() const { return end_s - start_s; }
+  /// Staging wait between dispatch and execution start (transfers).
+  [[nodiscard]] double transfer_wait_s() const {
+    return start_s > dispatched_s ? start_s - dispatched_s : 0.0;
+  }
+  [[nodiscard]] double energy_j() const { return attributed_power_w * duration_s(); }
+};
+
+struct WorkerRecord {
+  std::int32_t id = -1;
+  std::string name;  ///< e.g. "cuda0 (A100-SXM4)"
+  bool is_cuda = false;
+  DeviceKind device_kind = DeviceKind::kCpu;
+  std::int32_t device_index = 0;  ///< GPU index or CPU package index
+};
+
+/// One metered device (GPU board or CPU package) with the power-state
+/// context needed by the attribution and what-if analyses.
+struct DeviceRecord {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::int32_t index = 0;
+  std::string name;
+  double metered_j = 0.0;  ///< counter delta over the measured window
+  double static_w = 0.0;   ///< idle draw (GPU) / uncore draw (CPU package)
+  double cap_w = 0.0;      ///< power limit in force during the run
+  char level = '-';        ///< 'H'/'B'/'L' for GPUs, '-' otherwise
+  /// Modeled relative kernel rate at each cap level (H == 1.0), for the
+  /// what-if duration scaling. Zero when the level is not applicable.
+  double rate_scale_h = 1.0;
+  double rate_scale_b = 0.0;
+  double rate_scale_l = 0.0;
+
+  [[nodiscard]] double rate_scale(char lvl) const {
+    switch (lvl) {
+      case 'H': return rate_scale_h;
+      case 'B': return rate_scale_b;
+      case 'L': return rate_scale_l;
+      default: return 0.0;
+    }
+  }
+};
+
+struct RunCapture {
+  // -- run identity ---------------------------------------------------------
+  std::string platform;
+  std::string operation;
+  std::string precision;
+  std::string scheduler;
+  std::string gpu_config;  ///< "HHBB"-style, one letter per GPU
+  std::int64_t n = 0;
+  int nb = 0;
+
+  // -- measured window ------------------------------------------------------
+  /// Virtual-time instants of the start/end energy-counter reads; every
+  /// task span lies inside [t_begin_s, t_end_s].
+  double t_begin_s = 0.0;
+  double t_end_s = 0.0;
+  double makespan_s = 0.0;
+  /// Useful flops of the whole operation (the paper's Gflop/s numerator).
+  double total_flops = 0.0;
+
+  std::vector<WorkerRecord> workers;
+  std::vector<DeviceRecord> devices;
+  std::vector<TaskRecord> tasks;  ///< ascending id == topological order
+
+  [[nodiscard]] double window_s() const { return t_end_s - t_begin_s; }
+  [[nodiscard]] bool empty() const { return tasks.empty(); }
+
+  /// Index into devices for a worker's device, or -1.
+  [[nodiscard]] std::int64_t device_of(std::int32_t worker) const {
+    if (worker < 0 || static_cast<std::size_t>(worker) >= workers.size()) {
+      return -1;
+    }
+    const WorkerRecord& w = workers[static_cast<std::size_t>(worker)];
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (devices[d].kind == w.device_kind && devices[d].index == w.device_index) {
+        return static_cast<std::int64_t>(d);
+      }
+    }
+    return -1;
+  }
+};
+
+}  // namespace greencap::prof

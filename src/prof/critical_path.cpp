@@ -1,0 +1,214 @@
+#include "prof/critical_path.hpp"
+
+#include <algorithm>
+
+namespace greencap::prof {
+
+const char* to_string(PathLink link) {
+  switch (link) {
+    case PathLink::kRoot: return "root";
+    case PathLink::kDependency: return "dependency";
+    case PathLink::kSameWorker: return "same-worker";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Successor adjacency, inverted from the stored predecessor lists.
+std::vector<std::vector<std::int64_t>> build_successors(const RunCapture& capture) {
+  std::vector<std::vector<std::int64_t>> succ(capture.tasks.size());
+  for (const TaskRecord& task : capture.tasks) {
+    for (const std::int64_t p : task.predecessors) {
+      if (p >= 0 && static_cast<std::size_t>(p) < succ.size()) {
+        succ[static_cast<std::size_t>(p)].push_back(task.id);
+      }
+    }
+  }
+  return succ;
+}
+
+void walk_time_path(const RunCapture& capture, CriticalPathResult& out) {
+  const std::size_t n = capture.tasks.size();
+
+  // Per-worker task index lists in start order, plus each task's position,
+  // so "previous task on my worker" is an O(1) lookup.
+  std::vector<std::vector<std::int64_t>> by_worker(capture.workers.size());
+  for (const TaskRecord& t : capture.tasks) {
+    if (t.worker >= 0 && static_cast<std::size_t>(t.worker) < by_worker.size()) {
+      by_worker[static_cast<std::size_t>(t.worker)].push_back(t.id);
+    }
+  }
+  std::vector<std::int64_t> pos_on_worker(n, -1);
+  for (auto& list : by_worker) {
+    std::sort(list.begin(), list.end(), [&](std::int64_t a, std::int64_t b) {
+      return capture.tasks[static_cast<std::size_t>(a)].start_s <
+             capture.tasks[static_cast<std::size_t>(b)].start_s;
+    });
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      pos_on_worker[static_cast<std::size_t>(list[i])] = static_cast<std::int64_t>(i);
+    }
+  }
+
+  // The path's anchor: the task that retires last.
+  std::int64_t current = -1;
+  for (const TaskRecord& t : capture.tasks) {
+    if (current < 0 || t.end_s > capture.tasks[static_cast<std::size_t>(current)].end_s) {
+      current = t.id;
+    }
+  }
+
+  std::vector<PathStep> reversed;
+  while (current >= 0) {
+    const TaskRecord& task = capture.tasks[static_cast<std::size_t>(current)];
+
+    // Which activity gated this task's start? The latest-finishing of its
+    // dependency predecessors and the previous task on its worker.
+    std::int64_t gate = -1;
+    PathLink link = PathLink::kRoot;
+    double gate_end = capture.t_begin_s;
+    for (const std::int64_t p : task.predecessors) {
+      if (p < 0 || static_cast<std::size_t>(p) >= capture.tasks.size()) {
+        continue;
+      }
+      const double e = capture.tasks[static_cast<std::size_t>(p)].end_s;
+      if (e > gate_end) {
+        gate = p;
+        gate_end = e;
+        link = PathLink::kDependency;
+      }
+    }
+    if (task.worker >= 0 && static_cast<std::size_t>(task.worker) < by_worker.size()) {
+      const std::int64_t pos = pos_on_worker[static_cast<std::size_t>(current)];
+      if (pos > 0) {
+        const std::int64_t prev = by_worker[static_cast<std::size_t>(task.worker)]
+                                           [static_cast<std::size_t>(pos - 1)];
+        const double e = capture.tasks[static_cast<std::size_t>(prev)].end_s;
+        // Strictly-later wins; on a tie the dependency edge is the more
+        // informative explanation, so keep it.
+        if (e > gate_end) {
+          gate = prev;
+          gate_end = e;
+          link = PathLink::kSameWorker;
+        }
+      }
+    }
+
+    PathStep step;
+    step.task = current;
+    step.link = link;
+    step.gap_s = std::max(0.0, task.start_s - gate_end);
+    step.transfer_wait_s = std::min(step.gap_s, task.transfer_wait_s());
+    reversed.push_back(step);
+    current = gate;
+  }
+
+  out.time_path.assign(reversed.rbegin(), reversed.rend());
+  for (const PathStep& step : out.time_path) {
+    const TaskRecord& t = capture.tasks[static_cast<std::size_t>(step.task)];
+    out.exec_s += t.duration_s();
+    out.transfer_wait_s += step.transfer_wait_s;
+    out.other_wait_s += step.other_wait_s();
+  }
+  out.length_s = out.exec_s + out.transfer_wait_s + out.other_wait_s;
+}
+
+void walk_energy_path(const RunCapture& capture, const std::vector<double>& task_energy_j,
+                      CriticalPathResult& out) {
+  const std::size_t n = capture.tasks.size();
+  if (task_energy_j.size() != n) {
+    return;
+  }
+  // Ids ascend in topological order (edges always point forward), so one
+  // forward sweep computes the max-energy chain ending at each task.
+  std::vector<double> best(n, 0.0);
+  std::vector<std::int64_t> parent(n, -1);
+  std::int64_t argmax = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskRecord& task = capture.tasks[i];
+    double incoming = 0.0;
+    std::int64_t from = -1;
+    for (const std::int64_t p : task.predecessors) {
+      if (p >= 0 && static_cast<std::size_t>(p) < i && best[static_cast<std::size_t>(p)] > incoming) {
+        incoming = best[static_cast<std::size_t>(p)];
+        from = p;
+      }
+    }
+    best[i] = incoming + task_energy_j[i];
+    parent[i] = from;
+    if (argmax < 0 || best[i] > best[static_cast<std::size_t>(argmax)]) {
+      argmax = static_cast<std::int64_t>(i);
+    }
+  }
+  for (std::int64_t t = argmax; t >= 0; t = parent[static_cast<std::size_t>(t)]) {
+    out.energy_path.push_back(t);
+  }
+  std::reverse(out.energy_path.begin(), out.energy_path.end());
+  out.energy_path_j = argmax >= 0 ? best[static_cast<std::size_t>(argmax)] : 0.0;
+}
+
+void compute_slack(const RunCapture& capture, CriticalPathResult& out) {
+  const std::size_t n = capture.tasks.size();
+  const auto succ = build_successors(capture);
+  const double horizon = capture.makespan_s - capture.t_begin_s;
+
+  // tail[t]: realized duration of t plus the longest dependency chain of
+  // realized durations after it.
+  std::vector<double> tail(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double after = 0.0;
+    for (const std::int64_t s : succ[i]) {
+      after = std::max(after, tail[static_cast<std::size_t>(s)]);
+    }
+    tail[i] = capture.tasks[i].duration_s() + after;
+  }
+  out.slack_s.resize(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double start = capture.tasks[i].start_s - capture.t_begin_s;
+    out.slack_s[i] = std::max(0.0, horizon - start - tail[i]);
+  }
+}
+
+void compute_worker_breakdown(const RunCapture& capture, const std::vector<double>& task_energy_j,
+                              CriticalPathResult& out) {
+  const double window = std::max(0.0, capture.window_s());
+  out.workers.resize(capture.workers.size());
+  for (std::size_t w = 0; w < capture.workers.size(); ++w) {
+    out.workers[w].worker = capture.workers[w].id;
+  }
+  for (std::size_t i = 0; i < capture.tasks.size(); ++i) {
+    const TaskRecord& t = capture.tasks[i];
+    if (t.worker < 0 || static_cast<std::size_t>(t.worker) >= out.workers.size()) {
+      continue;
+    }
+    WorkerBreakdown& b = out.workers[static_cast<std::size_t>(t.worker)];
+    ++b.tasks;
+    b.busy_s += t.duration_s();
+    b.transfer_wait_s += t.transfer_wait_s();
+    b.flops += t.flops;
+    if (i < task_energy_j.size()) {
+      b.energy_j += task_energy_j[i];
+    }
+  }
+  for (WorkerBreakdown& b : out.workers) {
+    b.starvation_s = std::max(0.0, window - b.busy_s - b.transfer_wait_s);
+  }
+}
+
+}  // namespace
+
+CriticalPathResult analyze_critical_path(const RunCapture& capture,
+                                         const std::vector<double>& task_energy_j) {
+  CriticalPathResult out;
+  compute_worker_breakdown(capture, task_energy_j, out);
+  out.slack_s.resize(capture.tasks.size(), 0.0);
+  if (capture.tasks.empty()) {
+    return out;
+  }
+  walk_time_path(capture, out);
+  walk_energy_path(capture, task_energy_j, out);
+  compute_slack(capture, out);
+  return out;
+}
+
+}  // namespace greencap::prof

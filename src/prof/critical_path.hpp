@@ -1,0 +1,83 @@
+// Critical-path and slack analysis over the realized schedule.
+//
+// Time-critical path: starting from the task that retires last, walk
+// backwards choosing at each step the activity that actually gated the
+// task's start — its latest-finishing dependency predecessor or the
+// previous task on the same worker — until reaching the start of the
+// measured window. Each link carries the idle gap it spans, split into
+// transfer wait (staging between dispatch and execution start) and other
+// wait (scheduler latency, backoff, starvation). The path telescopes:
+//
+//   Σ exec + Σ transfer_wait + Σ other_wait == makespan   (exactly)
+//
+// which is the property the conservation tests assert.
+//
+// Energy-critical path: the dependency-DAG path maximizing summed
+// attributed task energy — where the joules that *had* to be spent in
+// sequence went.
+//
+// Per-task slack: how long a task could have run longer without moving the
+// makespan, holding every other realized duration fixed and respecting
+// dependency edges (worker contention ignored — slack is an upper bound
+// on harmless slowdown, the dual of the what-if lower bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prof/capture.hpp"
+
+namespace greencap::prof {
+
+enum class PathLink : std::uint8_t {
+  kRoot,        ///< first step; gap measured from the window start
+  kDependency,  ///< gated by a DAG predecessor
+  kSameWorker,  ///< gated by the previous task on the same worker
+};
+
+[[nodiscard]] const char* to_string(PathLink link);
+
+struct PathStep {
+  std::int64_t task = -1;
+  PathLink link = PathLink::kRoot;
+  double gap_s = 0.0;            ///< idle between the gating end and this start
+  double transfer_wait_s = 0.0;  ///< part of the gap spent staging inputs
+  /// gap − transfer_wait: scheduling/queueing/starvation time.
+  [[nodiscard]] double other_wait_s() const { return gap_s - transfer_wait_s; }
+};
+
+struct WorkerBreakdown {
+  std::int32_t worker = -1;
+  std::uint64_t tasks = 0;
+  double busy_s = 0.0;           ///< executing kernels
+  double transfer_wait_s = 0.0;  ///< dispatched but waiting on staging
+  double starvation_s = 0.0;     ///< idle with nothing dispatched
+  double flops = 0.0;
+  double energy_j = 0.0;
+};
+
+struct CriticalPathResult {
+  /// Chronological steps of the time-critical path.
+  std::vector<PathStep> time_path;
+  double length_s = 0.0;  ///< Σ exec + Σ gaps == makespan
+  double exec_s = 0.0;
+  double transfer_wait_s = 0.0;
+  double other_wait_s = 0.0;
+
+  /// Task ids of the energy-critical DAG path, in chronological order.
+  std::vector<std::int64_t> energy_path;
+  double energy_path_j = 0.0;
+
+  /// Per-task slack, parallel to capture.tasks.
+  std::vector<double> slack_s;
+
+  /// Idle/imbalance breakdown, parallel to capture.workers.
+  std::vector<WorkerBreakdown> workers;
+};
+
+/// `task_energy_j` is AttributionResult::task_energy_j (parallel to
+/// capture.tasks); pass an empty vector to skip the energy path.
+[[nodiscard]] CriticalPathResult analyze_critical_path(const RunCapture& capture,
+                                                       const std::vector<double>& task_energy_j);
+
+}  // namespace greencap::prof

@@ -1,0 +1,150 @@
+#include "prof/efficiency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace greencap::prof {
+
+std::vector<EfficiencyCell> efficiency_table(const RunCapture& capture,
+                                             const std::vector<double>& task_energy_j) {
+  std::map<std::tuple<std::string, DeviceKind, std::int32_t>, EfficiencyCell> cells;
+  for (std::size_t i = 0; i < capture.tasks.size(); ++i) {
+    const TaskRecord& task = capture.tasks[i];
+    const std::int64_t d = capture.device_of(task.worker);
+    if (d < 0) {
+      continue;
+    }
+    const DeviceRecord& dev = capture.devices[static_cast<std::size_t>(d)];
+    EfficiencyCell& cell = cells[{task.codelet, dev.kind, dev.index}];
+    if (cell.tasks == 0) {
+      cell.codelet = task.codelet;
+      cell.kind = dev.kind;
+      cell.device_index = dev.index;
+      cell.level = dev.level;
+      cell.cap_w = dev.cap_w;
+    }
+    ++cell.tasks;
+    cell.flops += task.flops;
+    cell.exec_s += task.duration_s();
+    if (i < task_energy_j.size()) {
+      cell.energy_j += task_energy_j[i];
+    }
+  }
+  std::vector<EfficiencyCell> rows;
+  rows.reserve(cells.size());
+  for (auto& [key, cell] : cells) {
+    rows.push_back(std::move(cell));
+  }
+  return rows;
+}
+
+RunMetrics run_metrics(const RunCapture& capture) {
+  RunMetrics m;
+  m.time_s = capture.makespan_s - capture.t_begin_s;
+  for (const DeviceRecord& dev : capture.devices) {
+    m.energy_j += dev.metered_j;
+  }
+  m.gflops = m.time_s > 0 ? capture.total_flops / m.time_s / 1e9 : 0.0;
+  m.gflops_per_w = m.energy_j > 0 ? capture.total_flops / m.energy_j / 1e9 : 0.0;
+  m.edp_js = m.energy_j * m.time_s;
+  m.eds_js2 = m.energy_j * m.time_s * m.time_s;
+  return m;
+}
+
+WhatIfEntry whatif_lower_bound(const RunCapture& capture, const std::string& target_levels) {
+  // Devices in GPU-index order, with the per-task duration scale factor
+  // realized-level-rate / target-level-rate.
+  std::vector<const DeviceRecord*> gpus;
+  for (const DeviceRecord& dev : capture.devices) {
+    if (dev.kind == DeviceKind::kGpu) {
+      gpus.push_back(&dev);
+    }
+  }
+  std::sort(gpus.begin(), gpus.end(),
+            [](const DeviceRecord* a, const DeviceRecord* b) { return a->index < b->index; });
+  if (target_levels.size() != gpus.size()) {
+    throw std::invalid_argument("whatif: config '" + target_levels + "' needs " +
+                                std::to_string(gpus.size()) + " levels");
+  }
+
+  std::vector<double> worker_scale(capture.workers.size(), 1.0);
+  for (std::size_t w = 0; w < capture.workers.size(); ++w) {
+    const WorkerRecord& wr = capture.workers[w];
+    if (wr.device_kind != DeviceKind::kGpu) {
+      continue;
+    }
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      if (gpus[g]->index != wr.device_index) {
+        continue;
+      }
+      const char target = target_levels[g];
+      if (target != 'H' && target != 'B' && target != 'L') {
+        throw std::invalid_argument(std::string("whatif: bad level '") + target + "'");
+      }
+      const double from = gpus[g]->rate_scale(gpus[g]->level);
+      const double to = gpus[g]->rate_scale(target);
+      if (from > 0 && to > 0) {
+        worker_scale[w] = from / to;
+      }
+    }
+  }
+
+  WhatIfEntry entry;
+  entry.config = target_levels;
+
+  // (a) longest dependency chain of scaled durations (ids are topological).
+  std::vector<double> chain(capture.tasks.size(), 0.0);
+  // (b) per-worker scaled busy totals.
+  std::vector<double> busy(capture.workers.size(), 0.0);
+  for (std::size_t i = 0; i < capture.tasks.size(); ++i) {
+    const TaskRecord& task = capture.tasks[i];
+    double scale = 1.0;
+    if (task.worker >= 0 && static_cast<std::size_t>(task.worker) < worker_scale.size()) {
+      scale = worker_scale[static_cast<std::size_t>(task.worker)];
+      busy[static_cast<std::size_t>(task.worker)] += task.duration_s() * scale;
+    }
+    double incoming = 0.0;
+    for (const std::int64_t p : task.predecessors) {
+      if (p >= 0 && static_cast<std::size_t>(p) < i) {
+        incoming = std::max(incoming, chain[static_cast<std::size_t>(p)]);
+      }
+    }
+    chain[i] = incoming + task.duration_s() * scale;
+    entry.dag_bound_s = std::max(entry.dag_bound_s, chain[i]);
+  }
+  for (const double b : busy) {
+    entry.work_bound_s = std::max(entry.work_bound_s, b);
+  }
+  entry.lower_bound_s = std::max(entry.dag_bound_s, entry.work_bound_s);
+  const double measured = capture.makespan_s - capture.t_begin_s;
+  entry.vs_measured = measured > 0 ? entry.lower_bound_s / measured : 0.0;
+  return entry;
+}
+
+std::vector<WhatIfEntry> whatif_ladder(const RunCapture& capture) {
+  std::size_t gpus = 0;
+  for (const DeviceRecord& dev : capture.devices) {
+    if (dev.kind == DeviceKind::kGpu) {
+      ++gpus;
+    }
+  }
+  // The paper's presentation ladder: L-ladder, B-ladder, then all-H.
+  std::vector<std::string> configs;
+  for (const char level : {'L', 'B'}) {
+    for (std::size_t h = 0; h < gpus; ++h) {
+      configs.push_back(std::string(h, 'H') + std::string(gpus - h, level));
+    }
+  }
+  configs.push_back(std::string(gpus, 'H'));
+
+  std::vector<WhatIfEntry> entries;
+  entries.reserve(configs.size());
+  for (const std::string& config : configs) {
+    entries.push_back(whatif_lower_bound(capture, config));
+  }
+  return entries;
+}
+
+}  // namespace greencap::prof

@@ -1,0 +1,84 @@
+// Aggregate efficiency tables and the what-if cap estimator.
+//
+// The tables aggregate realized executions per codelet × device: achieved
+// Gflop/s, Gflop/s/W (= flops / attributed joules), J/task and EDP — the
+// derived metrics related work (Patrou et al.) judges capping by. Under an
+// L config they show the paper's mechanism directly: GEMM's J/task on the
+// capped GPUs versus the CPUs' far worse Gflop/s/W as work migrates.
+//
+// The what-if estimator lower-bounds the makespan under a *different* GPU
+// cap vector from the recorded DAG: every GPU task's realized duration is
+// rescaled by the device's modeled rate ratio between its recorded level
+// and the target level, then the bound is the larger of (a) the longest
+// dependency chain of scaled durations and (b) the heaviest worker's
+// scaled busy time. It is a lower bound, not a prediction: placement is
+// frozen (a real scheduler would migrate work), idle gaps are dropped,
+// transfers are unchanged, and CPU speeds are untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/capture.hpp"
+
+namespace greencap::prof {
+
+/// One (codelet, device) aggregate row.
+struct EfficiencyCell {
+  std::string codelet;
+  DeviceKind kind = DeviceKind::kCpu;
+  std::int32_t device_index = 0;
+  char level = '-';
+  double cap_w = 0.0;
+  std::uint64_t tasks = 0;
+  double flops = 0.0;
+  double exec_s = 0.0;    ///< Σ realized durations
+  double energy_j = 0.0;  ///< Σ attributed task joules
+
+  [[nodiscard]] double gflops() const { return exec_s > 0 ? flops / exec_s / 1e9 : 0.0; }
+  [[nodiscard]] double gflops_per_w() const { return energy_j > 0 ? flops / energy_j / 1e9 : 0.0; }
+  [[nodiscard]] double j_per_task() const {
+    return tasks > 0 ? energy_j / static_cast<double>(tasks) : 0.0;
+  }
+  [[nodiscard]] double edp_js() const { return energy_j * exec_s; }
+};
+
+/// Rows sorted by codelet, then device kind/index.
+[[nodiscard]] std::vector<EfficiencyCell> efficiency_table(
+    const RunCapture& capture, const std::vector<double>& task_energy_j);
+
+/// Whole-run derived metrics (EDP/EDS per Patrou et al.).
+struct RunMetrics {
+  double time_s = 0.0;
+  double energy_j = 0.0;   ///< total metered
+  double gflops = 0.0;
+  double gflops_per_w = 0.0;
+  double edp_js = 0.0;     ///< energy × time
+  double eds_js2 = 0.0;    ///< energy × time²
+};
+
+[[nodiscard]] RunMetrics run_metrics(const RunCapture& capture);
+
+struct WhatIfEntry {
+  std::string config;        ///< target levels, one char per GPU
+  double dag_bound_s = 0.0;  ///< longest scaled dependency chain
+  double work_bound_s = 0.0; ///< heaviest worker's scaled busy time
+  double lower_bound_s = 0.0;  ///< max of the two
+  /// lower_bound / measured makespan (<1 predicts possible speedup,
+  /// >1 proves unavoidable slowdown).
+  double vs_measured = 0.0;
+};
+
+/// Lower-bounds the makespan under `target_levels` ("HHBB"-style, one
+/// char per GPU in device order). Throws std::invalid_argument on a level
+/// string whose length mismatches the capture's GPU count or with
+/// characters outside {H,B,L}.
+[[nodiscard]] WhatIfEntry whatif_lower_bound(const RunCapture& capture,
+                                             const std::string& target_levels);
+
+/// The bound evaluated over the paper's standard ladder for the capture's
+/// GPU count (L-ladder, B-ladder, all-H).
+[[nodiscard]] std::vector<WhatIfEntry> whatif_ladder(const RunCapture& capture);
+
+}  // namespace greencap::prof

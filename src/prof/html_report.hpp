@@ -1,0 +1,20 @@
+// Self-contained HTML run report.
+//
+// One file, no network: the profile JSON is inlined into a <script> data
+// island and a small vendored JS renderer (hand-written, ~200 lines,
+// embedded below as a string literal) builds the report client-side —
+// summary cards, energy-attribution table, per-worker utilization bars, a
+// worker timeline of the longest tasks, the critical-path walk, the
+// codelet × device efficiency table and the what-if ladder. Open the file
+// in any browser; nothing is fetched.
+#pragma once
+
+#include <iosfwd>
+
+#include "prof/profile.hpp"
+
+namespace greencap::prof {
+
+void write_html_report(std::ostream& os, const Profile& profile);
+
+}  // namespace greencap::prof

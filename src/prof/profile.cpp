@@ -1,0 +1,228 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "obs/decision_log.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace greencap::prof {
+
+namespace {
+
+using obs::json_string;
+
+// profile.json readers re-verify the conservation identity from the
+// serialized numbers, so every double goes out at round-trip precision.
+std::string json_number(double v) { return obs::json_number_exact(v); }
+
+void summarize_decisions(const obs::DecisionLog& log, Profile& profile) {
+  for (const obs::ModelAccuracy& acc : log.accuracy_report()) {
+    ModelAccuracyRow row;
+    row.codelet = acc.codelet;
+    row.arch = acc.arch;
+    row.samples = acc.samples;
+    row.mean_rel_error = acc.mean_rel_error;
+    profile.model_accuracy.push_back(std::move(row));
+  }
+}
+
+void summarize_telemetry(const obs::TelemetrySeries& series, Profile& profile) {
+  // Peak instantaneous node draw: max over samples of the sum of every
+  // *.power_w channel.
+  std::vector<std::size_t> power_channels;
+  const auto& channels = series.channels();
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const std::string& name = channels[c].name;
+    if (name.size() > 8 && name.compare(name.size() - 8, 8, ".power_w") == 0) {
+      power_channels.push_back(c);
+    }
+  }
+  for (const obs::TelemetrySample& sample : series.samples()) {
+    double node = 0.0;
+    for (const std::size_t c : power_channels) {
+      node += sample.values[c];
+    }
+    profile.peak_node_power_w = std::max(profile.peak_node_power_w, node);
+  }
+}
+
+void write_device_json(std::ostream& os, const DeviceRecord& dev, const DeviceAttribution& att) {
+  os << "{\"kind\":" << json_string(to_string(dev.kind)) << ",\"index\":" << dev.index
+     << ",\"name\":" << json_string(dev.name) << ",\"level\":" << json_string(std::string(1, dev.level))
+     << ",\"cap_w\":" << json_number(dev.cap_w) << ",\"static_w\":" << json_number(dev.static_w)
+     << ",\"metered_j\":" << json_number(dev.metered_j)
+     << ",\"tasks_j\":" << json_number(att.tasks_j)
+     << ",\"static_j\":" << json_number(att.static_j)
+     << ",\"residual_j\":" << json_number(att.residual_j)
+     << ",\"busy_s\":" << json_number(att.busy_s) << ",\"idle_s\":" << json_number(att.idle_s)
+     << ",\"task_count\":" << att.task_count << ",\"rate_scale\":{\"H\":"
+     << json_number(dev.rate_scale_h) << ",\"B\":" << json_number(dev.rate_scale_b)
+     << ",\"L\":" << json_number(dev.rate_scale_l) << "}}";
+}
+
+}  // namespace
+
+void Profile::write_json(std::ostream& os) const {
+  os << "{\"schema_version\":1,\n\"run\":{";
+  os << "\"platform\":" << json_string(capture.platform)
+     << ",\"operation\":" << json_string(capture.operation)
+     << ",\"precision\":" << json_string(capture.precision) << ",\"n\":" << capture.n
+     << ",\"nb\":" << capture.nb << ",\"gpu_config\":" << json_string(capture.gpu_config)
+     << ",\"scheduler\":" << json_string(capture.scheduler)
+     << ",\"window\":{\"begin_s\":" << json_number(capture.t_begin_s)
+     << ",\"end_s\":" << json_number(capture.t_end_s) << "}"
+     << ",\"makespan_s\":" << json_number(capture.makespan_s)
+     << ",\"total_flops\":" << json_number(capture.total_flops)
+     << ",\"metrics\":{\"time_s\":" << json_number(metrics.time_s)
+     << ",\"energy_j\":" << json_number(metrics.energy_j)
+     << ",\"gflops\":" << json_number(metrics.gflops)
+     << ",\"gflops_per_w\":" << json_number(metrics.gflops_per_w)
+     << ",\"edp_js\":" << json_number(metrics.edp_js)
+     << ",\"eds_js2\":" << json_number(metrics.eds_js2) << "}}";
+
+  // -- attribution ----------------------------------------------------------
+  os << ",\n\"attribution\":{\"total_metered_j\":" << json_number(attribution.total_metered_j)
+     << ",\"total_tasks_j\":" << json_number(attribution.total_tasks_j)
+     << ",\"total_static_j\":" << json_number(attribution.total_static_j)
+     << ",\"total_residual_j\":" << json_number(attribution.total_residual_j) << "}";
+
+  os << ",\n\"devices\":[";
+  for (std::size_t d = 0; d < capture.devices.size(); ++d) {
+    if (d != 0) {
+      os << ',';
+    }
+    write_device_json(os, capture.devices[d], attribution.devices[d]);
+  }
+  os << "]";
+
+  // -- workers --------------------------------------------------------------
+  os << ",\n\"workers\":[";
+  for (std::size_t w = 0; w < capture.workers.size(); ++w) {
+    const WorkerRecord& wr = capture.workers[w];
+    const WorkerBreakdown& b = critical_path.workers[w];
+    if (w != 0) {
+      os << ',';
+    }
+    os << "{\"id\":" << wr.id << ",\"name\":" << json_string(wr.name)
+       << ",\"arch\":" << json_string(wr.is_cuda ? "cuda" : "cpu")
+       << ",\"device\":{\"kind\":" << json_string(to_string(wr.device_kind))
+       << ",\"index\":" << wr.device_index << "},\"tasks\":" << b.tasks
+       << ",\"busy_s\":" << json_number(b.busy_s)
+       << ",\"transfer_wait_s\":" << json_number(b.transfer_wait_s)
+       << ",\"starvation_s\":" << json_number(b.starvation_s)
+       << ",\"flops\":" << json_number(b.flops) << ",\"energy_j\":" << json_number(b.energy_j)
+       << "}";
+  }
+  os << "]";
+
+  // -- tasks ----------------------------------------------------------------
+  os << ",\n\"tasks\":[";
+  for (std::size_t i = 0; i < capture.tasks.size(); ++i) {
+    const TaskRecord& t = capture.tasks[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"id\":" << t.id << ",\"label\":" << json_string(t.label)
+       << ",\"codelet\":" << json_string(t.codelet) << ",\"worker\":" << t.worker
+       << ",\"start_s\":" << json_number(t.start_s) << ",\"end_s\":" << json_number(t.end_s)
+       << ",\"flops\":" << json_number(t.flops)
+       << ",\"energy_j\":" << json_number(attribution.task_energy_j[i])
+       << ",\"slack_s\":" << json_number(critical_path.slack_s[i]) << "}";
+  }
+  os << "]";
+
+  // -- critical paths -------------------------------------------------------
+  os << ",\n\"critical_path\":{\"time\":{\"length_s\":" << json_number(critical_path.length_s)
+     << ",\"exec_s\":" << json_number(critical_path.exec_s)
+     << ",\"transfer_wait_s\":" << json_number(critical_path.transfer_wait_s)
+     << ",\"other_wait_s\":" << json_number(critical_path.other_wait_s) << ",\"steps\":[";
+  for (std::size_t i = 0; i < critical_path.time_path.size(); ++i) {
+    const PathStep& step = critical_path.time_path[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"task\":" << step.task << ",\"link\":" << json_string(to_string(step.link))
+       << ",\"gap_s\":" << json_number(step.gap_s)
+       << ",\"transfer_wait_s\":" << json_number(step.transfer_wait_s) << "}";
+  }
+  os << "]},\"energy\":{\"joules\":" << json_number(critical_path.energy_path_j) << ",\"tasks\":[";
+  for (std::size_t i = 0; i < critical_path.energy_path.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << critical_path.energy_path[i];
+  }
+  os << "]}}";
+
+  // -- efficiency table -----------------------------------------------------
+  os << ",\n\"efficiency\":[";
+  for (std::size_t i = 0; i < efficiency.size(); ++i) {
+    const EfficiencyCell& cell = efficiency[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"codelet\":" << json_string(cell.codelet)
+       << ",\"device\":{\"kind\":" << json_string(to_string(cell.kind))
+       << ",\"index\":" << cell.device_index << "}"
+       << ",\"level\":" << json_string(std::string(1, cell.level))
+       << ",\"cap_w\":" << json_number(cell.cap_w) << ",\"tasks\":" << cell.tasks
+       << ",\"flops\":" << json_number(cell.flops) << ",\"exec_s\":" << json_number(cell.exec_s)
+       << ",\"energy_j\":" << json_number(cell.energy_j)
+       << ",\"gflops\":" << json_number(cell.gflops())
+       << ",\"gflops_per_w\":" << json_number(cell.gflops_per_w())
+       << ",\"j_per_task\":" << json_number(cell.j_per_task())
+       << ",\"edp_js\":" << json_number(cell.edp_js()) << "}";
+  }
+  os << "]";
+
+  // -- what-if --------------------------------------------------------------
+  os << ",\n\"whatif\":[";
+  for (std::size_t i = 0; i < whatif.size(); ++i) {
+    const WhatIfEntry& entry = whatif[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"config\":" << json_string(entry.config)
+       << ",\"lower_bound_s\":" << json_number(entry.lower_bound_s)
+       << ",\"dag_bound_s\":" << json_number(entry.dag_bound_s)
+       << ",\"work_bound_s\":" << json_number(entry.work_bound_s)
+       << ",\"vs_measured\":" << json_number(entry.vs_measured) << "}";
+  }
+  os << "]";
+
+  // -- optional PR 1 enrichments -------------------------------------------
+  os << ",\n\"model_accuracy\":[";
+  for (std::size_t i = 0; i < model_accuracy.size(); ++i) {
+    const ModelAccuracyRow& row = model_accuracy[i];
+    if (i != 0) {
+      os << ',';
+    }
+    os << "{\"codelet\":" << json_string(row.codelet) << ",\"arch\":" << json_string(row.arch)
+       << ",\"samples\":" << row.samples
+       << ",\"mean_rel_error\":" << json_number(row.mean_rel_error) << "}";
+  }
+  os << "],\"peak_node_power_w\":" << json_number(peak_node_power_w);
+  os << "}\n";
+}
+
+Profile analyze(const RunCapture& capture, const AnalyzeOptions& options) {
+  Profile profile;
+  profile.capture = capture;
+  profile.metrics = run_metrics(capture);
+  profile.attribution = attribute_energy(capture);
+  profile.critical_path = analyze_critical_path(capture, profile.attribution.task_energy_j);
+  profile.efficiency = efficiency_table(capture, profile.attribution.task_energy_j);
+  profile.whatif = whatif_ladder(capture);
+  if (options.decisions != nullptr && !options.decisions->empty()) {
+    summarize_decisions(*options.decisions, profile);
+  }
+  if (options.telemetry != nullptr && !options.telemetry->empty()) {
+    summarize_telemetry(*options.telemetry, profile);
+  }
+  return profile;
+}
+
+}  // namespace greencap::prof

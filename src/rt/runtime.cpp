@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/telemetry.hpp"
+#include "prof/capture.hpp"
 #include "sim/log.hpp"
 
 namespace greencap::rt {
@@ -291,6 +292,7 @@ void Runtime::try_start(Worker& worker) {
   }
   assert(task->state == TaskState::kQueued);
   task->assigned_worker = worker.id();
+  task->dispatched_at = sim_.now();
   worker.busy = true;
   if (options_.decision_log != nullptr) {
     record_decision(*task, worker);
@@ -326,6 +328,21 @@ void Runtime::begin_execution(Task& task, Worker& worker, sim::SimTime start, si
     worker.gpu()->begin_kernel(w, sim_.now());
   } else {
     worker.cpu()->core_busy(sim_.now());
+  }
+  if (options_.profile) {
+    // Dynamic draw above the device's static floor, read from the very
+    // model state the meters integrate — so task power × duration sums
+    // back to the metered joules without re-simulation. The CPU read uses
+    // the per-core increment (core_dyn × phi); a package-cap clamp lands
+    // in the profiler's residual term, by design.
+    if (worker.arch() == WorkerArch::kCuda) {
+      const hw::GpuModel& gpu = *worker.gpu();
+      task.attributed_power_w = gpu.current_power_w() - gpu.spec().idle_w;
+    } else {
+      const hw::CpuModel& cpu = *worker.cpu();
+      const hw::PowerCurve curve{cpu.spec().v_floor};
+      task.attributed_power_w = cpu.spec().core_dyn_w * curve.phi(cpu.clock_ratio());
+    }
   }
   // The kernel host function runs at *completion* (finish_task), not here:
   // a task aborted mid-flight by a device dropout must leave its output
@@ -654,6 +671,51 @@ std::vector<std::string> Runtime::worker_names() const {
     names.push_back(w.describe());
   }
   return names;
+}
+
+void Runtime::export_capture(prof::RunCapture& capture) const {
+  capture.workers.clear();
+  capture.workers.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    prof::WorkerRecord rec;
+    rec.id = w.id();
+    rec.name = w.describe();
+    rec.is_cuda = w.arch() == WorkerArch::kCuda;
+    if (rec.is_cuda) {
+      rec.device_kind = prof::DeviceKind::kGpu;
+      rec.device_index = w.gpu()->index();
+    } else {
+      rec.device_kind = prof::DeviceKind::kCpu;
+      rec.device_index = w.cpu()->index();
+    }
+    capture.workers.push_back(std::move(rec));
+  }
+
+  capture.tasks.clear();
+  capture.tasks.reserve(tasks_.size());
+  for (const auto& task : tasks_) {
+    prof::TaskRecord rec;
+    rec.id = task->id();
+    rec.label = task->label;
+    rec.codelet = task->codelet().name;
+    rec.worker = task->assigned_worker;
+    rec.ready_s = task->ready_at.sec();
+    rec.dispatched_s = task->dispatched_at.sec();
+    rec.start_s = task->start_time.sec();
+    rec.end_s = task->end_time.sec();
+    rec.flops = task->work().flops;
+    rec.attributed_power_w = task->attributed_power_w;
+    capture.tasks.push_back(std::move(rec));
+  }
+  // The runtime stores forward edges; the profiler wants predecessors.
+  for (const auto& task : tasks_) {
+    for (const TaskId succ : task->successors) {
+      auto& preds = capture.tasks[static_cast<std::size_t>(succ)].predecessors;
+      if (std::find(preds.begin(), preds.end(), task->id()) == preds.end()) {
+        preds.push_back(task->id());
+      }
+    }
+  }
 }
 
 RuntimeStats Runtime::stats() const {

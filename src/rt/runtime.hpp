@@ -38,6 +38,10 @@ namespace greencap::obs {
 class TelemetrySampler;
 }
 
+namespace greencap::prof {
+struct RunCapture;
+}
+
 namespace greencap::rt {
 
 struct RuntimeOptions {
@@ -65,6 +69,10 @@ struct RuntimeOptions {
   /// Record spans into trace() (off by default: sweeps run thousands of
   /// simulations).
   bool enable_trace = false;
+  /// Record per-task attributed device power for the energy profiler
+  /// (prof::). Off by default: one model read per task start when on,
+  /// nothing at all when off.
+  bool profile = false;
   /// Optional metrics registry (not owned). When set, the runtime
   /// registers task/transfer counters and per-codelet execution-time and
   /// queue-wait histograms. Null keeps the hot path untouched.
@@ -177,6 +185,12 @@ class Runtime final : public SchedulerContext {
 
   /// Worker row labels for trace export, indexed by worker id.
   [[nodiscard]] std::vector<std::string> worker_names() const;
+
+  /// Fills `capture.workers` and `capture.tasks` (realized spans, final
+  /// attempts only, with dependency edges inverted to predecessor lists)
+  /// for the energy-attribution profiler. Run metadata and device records
+  /// are the caller's job — it still holds the platform and power config.
+  void export_capture(prof::RunCapture& capture) const;
 
   // -- resilience ------------------------------------------------------------
 

@@ -57,11 +57,18 @@ class Task {
   std::vector<TaskId> successors;
   WorkerId assigned_worker = -1;
   sim::SimTime ready_at;
+  /// Instant the worker popped the task and staging began (profiler's
+  /// transfer-wait anchor; re-set on requeue after a dropout).
+  sim::SimTime dispatched_at;
   /// Earliest instant the task's prefetched inputs are resident (only set
   /// when RuntimeOptions::prefetch staged data at queue time).
   sim::SimTime data_ready_at;
   sim::SimTime start_time;
   sim::SimTime end_time;
+  /// Dynamic device draw above the static floor while this task ran (W),
+  /// recorded at kernel start when RuntimeOptions::profile is on. The
+  /// energy-attribution profiler multiplies it by the realized duration.
+  double attributed_power_w = 0.0;
   /// Index into the observability decision log, -1 when logging is off.
   std::int64_t decision_index = -1;
 

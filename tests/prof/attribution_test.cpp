@@ -1,0 +1,72 @@
+#include "prof/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "capture_fixture.hpp"
+
+namespace greencap::prof {
+namespace {
+
+TEST(Attribution, SplitsMeteredEnergyExactly) {
+  const AttributionResult r = attribute_energy(testing::chain_capture());
+  ASSERT_EQ(r.devices.size(), 2u);
+
+  const DeviceAttribution& gpu = r.devices[0];
+  EXPECT_EQ(gpu.kind, DeviceKind::kGpu);
+  EXPECT_DOUBLE_EQ(gpu.tasks_j, 600.0);    // 2 x 150 W x 2 s
+  EXPECT_DOUBLE_EQ(gpu.static_j, 500.0);   // 50 W x 10 s window
+  EXPECT_DOUBLE_EQ(gpu.residual_j, 10.0);  // 1110 - 600 - 500
+  EXPECT_DOUBLE_EQ(gpu.attributed_total_j(), gpu.metered_j);
+
+  const DeviceAttribution& cpu = r.devices[1];
+  EXPECT_DOUBLE_EQ(cpu.tasks_j, 70.0);  // 20 W x 3.5 s
+  EXPECT_DOUBLE_EQ(cpu.static_j, 300.0);
+  EXPECT_DOUBLE_EQ(cpu.residual_j, 0.0);
+}
+
+TEST(Attribution, TotalsAreSumsOfDevices) {
+  const AttributionResult r = attribute_energy(testing::chain_capture());
+  EXPECT_DOUBLE_EQ(r.total_metered_j, 1480.0);
+  EXPECT_DOUBLE_EQ(r.total_tasks_j, 670.0);
+  EXPECT_DOUBLE_EQ(r.total_static_j, 800.0);
+  EXPECT_DOUBLE_EQ(r.total_residual_j, 10.0);
+  EXPECT_DOUBLE_EQ(r.total_tasks_j + r.total_static_j + r.total_residual_j, r.total_metered_j);
+}
+
+TEST(Attribution, PerTaskEnergiesParallelTasks) {
+  const AttributionResult r = attribute_energy(testing::chain_capture());
+  ASSERT_EQ(r.task_energy_j.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.task_energy_j[0], 300.0);
+  EXPECT_DOUBLE_EQ(r.task_energy_j[1], 300.0);
+  EXPECT_DOUBLE_EQ(r.task_energy_j[2], 70.0);
+}
+
+TEST(Attribution, BusyAndIdleTimes) {
+  const AttributionResult r = attribute_energy(testing::chain_capture());
+  EXPECT_DOUBLE_EQ(r.devices[0].busy_s, 4.0);
+  EXPECT_DOUBLE_EQ(r.devices[0].idle_s, 6.0);
+  EXPECT_EQ(r.devices[0].task_count, 2u);
+  EXPECT_DOUBLE_EQ(r.devices[1].busy_s, 3.5);
+  EXPECT_EQ(r.devices[1].task_count, 1u);
+}
+
+TEST(Attribution, UnmappedWorkerStillGetsTaskEnergy) {
+  RunCapture cap = testing::chain_capture();
+  cap.tasks[2].worker = 99;  // malformed: no such worker
+  const AttributionResult r = attribute_energy(cap);
+  EXPECT_DOUBLE_EQ(r.task_energy_j[2], 70.0);    // task energy still reported
+  EXPECT_DOUBLE_EQ(r.devices[1].tasks_j, 0.0);   // but no device bucket
+  // The CPU residual absorbs the now-unexplained 70 J.
+  EXPECT_DOUBLE_EQ(r.devices[1].residual_j, 70.0);
+}
+
+TEST(Attribution, EmptyCaptureYieldsZeroes) {
+  RunCapture cap;
+  const AttributionResult r = attribute_energy(cap);
+  EXPECT_TRUE(r.task_energy_j.empty());
+  EXPECT_TRUE(r.devices.empty());
+  EXPECT_DOUBLE_EQ(r.total_metered_j, 0.0);
+}
+
+}  // namespace
+}  // namespace greencap::prof

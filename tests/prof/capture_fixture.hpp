@@ -1,0 +1,96 @@
+// Hand-built RunCapture with known-by-construction analysis results,
+// shared by the prof:: unit tests.
+//
+// Topology: one GPU worker (w0 -> gpu0) and one CPU worker (w1 -> cpu0).
+// Window [0, 10] s, makespan 9 s. Three tasks in a chain:
+//
+//   t0 gemm  on w0: [0, 2],   150 W -> 300 J
+//   t1 gemm  on w0: [3, 5],   150 W -> 300 J, pred {t0}, dispatched at 2
+//   t2 potrf on w1: [5.5, 9],  20 W ->  70 J, pred {t1}, dispatched at 5
+//
+// gpu0: static 50 W (500 J over the window), metered 1110 J -> residual 10.
+// cpu0: static 30 W (300 J), metered 370 J -> residual 0.
+//
+// Critical path t0 -> t1 -> t2: exec 7.5 s, transfer-wait 1.5 s (1 s before
+// t1, 0.5 s before t2), other-wait 0, length 9 = makespan.
+// Slack: t0 = 1.5, t1 = 0.5, t2 = 0.
+#pragma once
+
+#include "prof/capture.hpp"
+
+namespace greencap::prof::testing {
+
+inline TaskRecord make_task(std::int64_t id, const char* codelet, std::int32_t worker,
+                            double dispatched, double start, double end, double power_w,
+                            std::vector<std::int64_t> preds) {
+  TaskRecord t;
+  t.id = id;
+  t.label = std::string(codelet) + "#" + std::to_string(id);
+  t.codelet = codelet;
+  t.worker = worker;
+  t.ready_s = dispatched;
+  t.dispatched_s = dispatched;
+  t.start_s = start;
+  t.end_s = end;
+  t.flops = 1e9 * (end - start);  // 1 Gflop/s realized, for easy arithmetic
+  t.attributed_power_w = power_w;
+  t.predecessors = std::move(preds);
+  return t;
+}
+
+inline RunCapture chain_capture() {
+  RunCapture cap;
+  cap.platform = "synthetic";
+  cap.operation = "GEMM";
+  cap.precision = "double";
+  cap.scheduler = "dmdas";
+  cap.gpu_config = "H";
+  cap.n = 2;
+  cap.nb = 1;
+  cap.t_begin_s = 0.0;
+  cap.t_end_s = 10.0;
+  cap.makespan_s = 9.0;
+  cap.total_flops = 7.5e9;
+
+  WorkerRecord w0;
+  w0.id = 0;
+  w0.name = "cuda0";
+  w0.is_cuda = true;
+  w0.device_kind = DeviceKind::kGpu;
+  w0.device_index = 0;
+  WorkerRecord w1;
+  w1.id = 1;
+  w1.name = "cpu0";
+  w1.device_kind = DeviceKind::kCpu;
+  w1.device_index = 0;
+  cap.workers = {w0, w1};
+
+  DeviceRecord gpu;
+  gpu.kind = DeviceKind::kGpu;
+  gpu.index = 0;
+  gpu.name = "TestGPU";
+  gpu.metered_j = 1110.0;
+  gpu.static_w = 50.0;
+  gpu.cap_w = 400.0;
+  gpu.level = 'H';
+  gpu.rate_scale_h = 1.0;
+  gpu.rate_scale_b = 0.8;
+  gpu.rate_scale_l = 0.5;
+  DeviceRecord cpu;
+  cpu.kind = DeviceKind::kCpu;
+  cpu.index = 0;
+  cpu.name = "TestCPU";
+  cpu.metered_j = 370.0;
+  cpu.static_w = 30.0;
+  cpu.cap_w = 200.0;
+  cap.devices = {gpu, cpu};
+
+  cap.tasks = {
+      make_task(0, "gemm", 0, 0.0, 0.0, 2.0, 150.0, {}),
+      make_task(1, "gemm", 0, 2.0, 3.0, 5.0, 150.0, {0}),
+      make_task(2, "potrf", 1, 5.0, 5.5, 9.0, 20.0, {1}),
+  };
+  return cap;
+}
+
+}  // namespace greencap::prof::testing

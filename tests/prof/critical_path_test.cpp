@@ -1,0 +1,98 @@
+#include "prof/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "prof/attribution.hpp"
+
+#include "capture_fixture.hpp"
+
+namespace greencap::prof {
+namespace {
+
+CriticalPathResult analyze_chain() {
+  const RunCapture cap = testing::chain_capture();
+  return analyze_critical_path(cap, attribute_energy(cap).task_energy_j);
+}
+
+TEST(CriticalPath, TelescopesToMakespan) {
+  const CriticalPathResult r = analyze_chain();
+  EXPECT_DOUBLE_EQ(r.length_s, 9.0);
+  EXPECT_DOUBLE_EQ(r.exec_s, 7.5);
+  EXPECT_DOUBLE_EQ(r.transfer_wait_s, 1.5);
+  EXPECT_DOUBLE_EQ(r.other_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.exec_s + r.transfer_wait_s + r.other_wait_s, r.length_s);
+}
+
+TEST(CriticalPath, WalksTheDependencyChain) {
+  const CriticalPathResult r = analyze_chain();
+  ASSERT_EQ(r.time_path.size(), 3u);
+  EXPECT_EQ(r.time_path[0].task, 0);
+  EXPECT_EQ(r.time_path[0].link, PathLink::kRoot);
+  EXPECT_EQ(r.time_path[1].task, 1);
+  EXPECT_EQ(r.time_path[1].link, PathLink::kDependency);
+  EXPECT_DOUBLE_EQ(r.time_path[1].gap_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.time_path[1].transfer_wait_s, 1.0);
+  EXPECT_EQ(r.time_path[2].task, 2);
+  EXPECT_DOUBLE_EQ(r.time_path[2].gap_s, 0.5);
+}
+
+TEST(CriticalPath, EnergyPathSumsChainEnergies) {
+  const CriticalPathResult r = analyze_chain();
+  ASSERT_EQ(r.energy_path.size(), 3u);
+  EXPECT_EQ(r.energy_path.front(), 0);
+  EXPECT_EQ(r.energy_path.back(), 2);
+  EXPECT_DOUBLE_EQ(r.energy_path_j, 670.0);
+}
+
+TEST(CriticalPath, SlackIsZeroOnTheCriticalChainTail) {
+  const CriticalPathResult r = analyze_chain();
+  ASSERT_EQ(r.slack_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.slack_s[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.slack_s[1], 0.5);
+  EXPECT_DOUBLE_EQ(r.slack_s[2], 0.0);
+  for (const double s : r.slack_s) {
+    EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(CriticalPath, WorkerBreakdownCoversTheWindow) {
+  const CriticalPathResult r = analyze_chain();
+  ASSERT_EQ(r.workers.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.workers[0].busy_s, 4.0);
+  EXPECT_DOUBLE_EQ(r.workers[0].transfer_wait_s, 1.0);  // t1's staging gap
+  EXPECT_DOUBLE_EQ(r.workers[0].starvation_s, 5.0);     // 10 - 4 - 1
+  EXPECT_DOUBLE_EQ(r.workers[0].energy_j, 600.0);
+  EXPECT_EQ(r.workers[1].tasks, 1u);
+  EXPECT_DOUBLE_EQ(r.workers[1].busy_s, 3.5);
+}
+
+TEST(CriticalPath, SameWorkerGateBeatsOlderDependency) {
+  RunCapture cap = testing::chain_capture();
+  // t2 moves onto worker 0 right after t1; its dependency (t1, end 5.0)
+  // and its same-worker predecessor coincide — add a later-but-unrelated
+  // filler on w0 so the same-worker gate ends strictly later.
+  cap.tasks[2].worker = 0;
+  cap.tasks.push_back(testing::make_task(3, "filler", 0, 5.0, 5.0, 5.4, 100.0, {}));
+  // Re-sort: ids must stay topological; filler has no successors.
+  const CriticalPathResult r =
+      analyze_critical_path(cap, attribute_energy(cap).task_energy_j);
+  // Anchor is still t2 (end 9). Its gate is now the filler (end 5.4 > 5.0).
+  const PathStep& last = r.time_path.back();
+  EXPECT_EQ(last.task, 2);
+  EXPECT_EQ(last.link, PathLink::kSameWorker);
+  EXPECT_NEAR(last.gap_s, 0.1, 1e-12);  // 5.5 - 5.4
+}
+
+TEST(CriticalPath, EmptyCaptureIsSafe) {
+  RunCapture cap = testing::chain_capture();
+  cap.tasks.clear();
+  const CriticalPathResult r = analyze_critical_path(cap, {});
+  EXPECT_TRUE(r.time_path.empty());
+  EXPECT_DOUBLE_EQ(r.length_s, 0.0);
+  // Worker rows exist even with no tasks (the JSON export indexes them).
+  ASSERT_EQ(r.workers.size(), 2u);
+  EXPECT_EQ(r.workers[0].tasks, 0u);
+}
+
+}  // namespace
+}  // namespace greencap::prof

@@ -1,0 +1,113 @@
+#include "prof/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "prof/html_report.hpp"
+
+#include "capture_fixture.hpp"
+
+namespace greencap::prof {
+namespace {
+
+// Counts {} / [] nesting outside string literals; a well-formed JSON
+// document ends balanced at depth zero. Not a full parser, but catches the
+// bracket/comma slips hand-written writers are prone to.
+bool json_brackets_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) {
+        return false;
+      }
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+Profile chain_profile() { return analyze(testing::chain_capture()); }
+
+TEST(ProfileAnalyze, PopulatesEveryAnalysis) {
+  const Profile p = chain_profile();
+  EXPECT_EQ(p.capture.tasks.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.metrics.energy_j, 1480.0);
+  EXPECT_DOUBLE_EQ(p.attribution.total_residual_j, 10.0);
+  EXPECT_DOUBLE_EQ(p.critical_path.length_s, 9.0);
+  EXPECT_EQ(p.efficiency.size(), 2u);
+  EXPECT_EQ(p.whatif.size(), 3u);
+  // No decision log / telemetry passed: enrichments stay at defaults.
+  EXPECT_TRUE(p.model_accuracy.empty());
+  EXPECT_DOUBLE_EQ(p.peak_node_power_w, 0.0);
+}
+
+TEST(ProfileJson, ContainsEverySchemaSection) {
+  std::ostringstream os;
+  chain_profile().write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  for (const char* key : {"\"run\":", "\"attribution\":", "\"devices\":", "\"workers\":",
+                          "\"tasks\":", "\"critical_path\":", "\"efficiency\":", "\"whatif\":",
+                          "\"model_accuracy\":", "\"peak_node_power_w\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing section " << key;
+  }
+  EXPECT_TRUE(json_brackets_balanced(json));
+}
+
+TEST(ProfileJson, ConservationSurvivesSerialization) {
+  std::ostringstream os;
+  chain_profile().write_json(os);
+  const std::string json = os.str();
+  // The fixture's exact values must appear verbatim (round-trip %.17g
+  // formatting keeps integral doubles integral).
+  EXPECT_NE(json.find("\"total_metered_j\":1480"), std::string::npos);
+  EXPECT_NE(json.find("\"total_tasks_j\":670"), std::string::npos);
+  EXPECT_NE(json.find("\"total_static_j\":800"), std::string::npos);
+  EXPECT_NE(json.find("\"total_residual_j\":10"), std::string::npos);
+}
+
+TEST(HtmlReport, EmbedsDataIslandAndRenderer) {
+  std::ostringstream os;
+  write_html_report(os, chain_profile());
+  const std::string html = os.str();
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("<script id=\"profile\" type=\"application/json\">"), std::string::npos);
+  EXPECT_NE(html.find("JSON.parse(document.getElementById(\"profile\")"), std::string::npos);
+  // Self-contained: nothing that triggers a network fetch. (The inert SVG
+  // xmlns identifier is the one allowed URL.)
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("fetch("), std::string::npos);
+  EXPECT_EQ(html.find("XMLHttpRequest"), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesScriptTerminatorInEmbeddedStrings) {
+  Profile p = chain_profile();
+  p.capture.tasks[0].label = "evil</script><b>";
+  std::ostringstream os;
+  write_html_report(os, p);
+  const std::string html = os.str();
+  // The raw terminator must not appear inside the island; the JSON-legal
+  // "<\/" form must.
+  EXPECT_NE(html.find("evil<\\/script>"), std::string::npos);
+  EXPECT_EQ(html.find("evil</script>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greencap::prof

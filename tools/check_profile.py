@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validate a GreenCap profile.json against tools/schema/profile.schema.json.
+
+Stdlib only (no jsonschema dependency): implements exactly the draft-07
+subset the schema uses — type / const / enum / required / properties /
+additionalProperties:false / items / pattern / minimum / $ref into
+#/definitions — and then re-verifies the profiler's semantic invariants
+from the serialized numbers:
+
+  * per-device and total energy conservation:
+      tasks_j + static_j + residual_j == metered_j        (<= --rel-tol)
+  * the time-critical path telescopes to the measured makespan
+  * task energies in the tasks[] array sum to the devices' task buckets
+
+Exit status 0 on success, 1 on any schema or invariant violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def _type_ok(value, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    if expected == "boolean":
+        return isinstance(value, bool)
+    raise ValueError(f"unsupported schema type {expected!r}")
+
+
+class Validator:
+    def __init__(self, schema: dict):
+        self.root = schema
+        self.errors: list[str] = []
+
+    def _resolve(self, node: dict) -> dict:
+        while "$ref" in node:
+            ref = node["$ref"]
+            if not ref.startswith("#/"):
+                raise ValueError(f"unsupported $ref {ref!r}")
+            target = self.root
+            for part in ref[2:].split("/"):
+                target = target[part]
+            node = target
+        return node
+
+    def check(self, value, node: dict, path: str) -> None:
+        node = self._resolve(node)
+        err = self.errors.append
+
+        if "const" in node and value != node["const"]:
+            err(f"{path}: expected const {node['const']!r}, got {value!r}")
+            return
+        if "enum" in node and value not in node["enum"]:
+            err(f"{path}: {value!r} not in {node['enum']}")
+            return
+        if "type" in node:
+            types = node["type"] if isinstance(node["type"], list) else [node["type"]]
+            if not any(_type_ok(value, t) for t in types):
+                err(f"{path}: expected {'/'.join(types)}, got {type(value).__name__}")
+                return
+        if isinstance(value, str) and "pattern" in node:
+            if not re.search(node["pattern"], value):
+                err(f"{path}: {value!r} does not match /{node['pattern']}/")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if "minimum" in node and value < node["minimum"]:
+                err(f"{path}: {value} below minimum {node['minimum']}")
+        if isinstance(value, dict):
+            props = node.get("properties", {})
+            for key in node.get("required", []):
+                if key not in value:
+                    err(f"{path}: missing required property {key!r}")
+            if node.get("additionalProperties") is False:
+                for key in value:
+                    if key not in props:
+                        err(f"{path}: unexpected property {key!r}")
+            for key, sub in props.items():
+                if key in value:
+                    self.check(value[key], sub, f"{path}.{key}")
+        if isinstance(value, list) and "items" in node:
+            for i, item in enumerate(value):
+                self.check(item, node["items"], f"{path}[{i}]")
+
+
+def check_invariants(profile: dict, rel_tol: float) -> list[str]:
+    problems: list[str] = []
+
+    def close(a: float, b: float) -> bool:
+        return abs(a - b) <= rel_tol * max(abs(a), abs(b), 1.0)
+
+    # Per-device conservation, and device buckets vs. the tasks[] array.
+    task_j_by_device: dict[tuple[str, int], float] = {}
+    worker_device = {
+        w["id"]: (w["device"]["kind"], w["device"]["index"]) for w in profile["workers"]
+    }
+    for task in profile["tasks"]:
+        dev = worker_device.get(task["worker"])
+        if dev is not None and task["energy_j"] is not None:
+            task_j_by_device[dev] = task_j_by_device.get(dev, 0.0) + task["energy_j"]
+
+    totals = {"metered": 0.0, "tasks": 0.0, "static": 0.0, "residual": 0.0}
+    for dev in profile["devices"]:
+        key = (dev["kind"], dev["index"])
+        label = f"device {dev['kind']}{dev['index']}"
+        parts = (dev["tasks_j"], dev["static_j"], dev["residual_j"])
+        if any(p is None for p in parts) or dev["metered_j"] is None:
+            problems.append(f"{label}: non-finite energy term")
+            continue
+        if not close(sum(parts), dev["metered_j"]):
+            problems.append(
+                f"{label}: tasks+static+residual = {sum(parts)!r} "
+                f"!= metered {dev['metered_j']!r}"
+            )
+        recomputed = task_j_by_device.get(key, 0.0)
+        if not close(dev["tasks_j"], recomputed):
+            problems.append(
+                f"{label}: tasks_j {dev['tasks_j']!r} != Σ tasks[] energies {recomputed!r}"
+            )
+        totals["metered"] += dev["metered_j"]
+        totals["tasks"] += dev["tasks_j"]
+        totals["static"] += dev["static_j"]
+        totals["residual"] += dev["residual_j"]
+
+    att = profile["attribution"]
+    for name, value in totals.items():
+        if not close(att[f"total_{name}_j"], value):
+            problems.append(
+                f"attribution.total_{name}_j {att[f'total_{name}_j']!r} != "
+                f"Σ devices {value!r}"
+            )
+
+    # Critical path telescopes to the measured makespan.
+    run = profile["run"]
+    cp = profile["critical_path"]["time"]
+    makespan = run["makespan_s"] - run["window"]["begin_s"]
+    if profile["tasks"]:
+        if not close(cp["length_s"], makespan):
+            problems.append(
+                f"critical path length {cp['length_s']!r} != makespan {makespan!r}"
+            )
+        split = cp["exec_s"] + cp["transfer_wait_s"] + cp["other_wait_s"]
+        if not close(split, cp["length_s"]):
+            problems.append(
+                f"critical path split {split!r} != length {cp['length_s']!r}"
+            )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("profile", type=Path, help="profile.json to validate")
+    parser.add_argument(
+        "--schema",
+        type=Path,
+        default=Path(__file__).resolve().parent / "schema" / "profile.schema.json",
+    )
+    parser.add_argument("--rel-tol", type=float, default=1e-9)
+    args = parser.parse_args()
+
+    try:
+        profile = json.loads(args.profile.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {args.profile}: {exc}", file=sys.stderr)
+        return 1
+    schema = json.loads(args.schema.read_text())
+
+    validator = Validator(schema)
+    validator.check(profile, schema, "$")
+    problems = validator.errors
+    if not problems:  # invariants assume the shape is right
+        problems += check_invariants(profile, args.rel_tol)
+
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}", file=sys.stderr)
+        print(f"{args.profile}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+
+    n_tasks = len(profile["tasks"])
+    n_devices = len(profile["devices"])
+    print(
+        f"{args.profile}: OK — schema valid, energy conserved across "
+        f"{n_devices} devices / {n_tasks} tasks, critical path == makespan"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

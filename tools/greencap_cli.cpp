@@ -27,7 +27,10 @@
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
 #include "hw/presets.hpp"
+#include "obs/artifact.hpp"
 #include "obs/trace_export.hpp"
+#include "prof/html_report.hpp"
+#include "prof/profile.hpp"
 
 using namespace greencap;
 
@@ -55,6 +58,8 @@ namespace {
       "  --telemetry-csv FILE     telemetry series as CSV\n"
       "  --decisions-json FILE    scheduler decision log\n"
       "  --model-report           print perf-model accuracy per codelet/arch\n"
+      "  --profile-json FILE      energy-attribution profile (docs/PROFILING.md)\n"
+      "  --profile-html FILE      self-contained HTML run report\n"
       "fault injection / resilience (docs/ROBUSTNESS.md):\n"
       "  --faults SPEC            fault plan: kind@gpuN:key=val,... (';'-separated)\n"
       "                           or @FILE for a JSON plan\n"
@@ -79,15 +84,12 @@ void print_result(const char* title, const core::ExperimentResult& r) {
               static_cast<unsigned long long>(r.cpu_tasks));
 }
 
-/// Writes `writer(os)` to `path`, or dies with a message.
+/// Writes `writer(os)` to `path` (checked), or dies with a message.
 template <typename Writer>
 void write_file(const std::string& path, const char* what, Writer&& writer) {
-  std::ofstream os{path};
-  if (!os) {
-    std::fprintf(stderr, "error: cannot open %s for %s\n", path.c_str(), what);
+  if (!obs::write_artifact(path, what, std::forward<Writer>(writer))) {
     std::exit(1);
   }
-  writer(os);
   std::printf("  wrote %-11s: %s\n", what, path.c_str());
 }
 
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
   std::optional<int> nb_override;
   std::string config_text;
   std::string trace_json, metrics_json, telemetry_json, telemetry_csv, decisions_json;
+  std::string profile_json, profile_html;
   std::string degradation_json;
   bool model_report = false;
 
@@ -129,6 +132,8 @@ int main(int argc, char** argv) {
         match_value("--telemetry-json", &telemetry_json) ||
         match_value("--telemetry-csv", &telemetry_csv) ||
         match_value("--decisions-json", &decisions_json) ||
+        match_value("--profile-json", &profile_json) ||
+        match_value("--profile-html", &profile_html) ||
         match_value("--faults", &cfg.resilience.faults) ||
         match_value("--degradation-json", &degradation_json)) {
       continue;
@@ -230,8 +235,10 @@ int main(int argc, char** argv) {
   cfg.obs.trace = !trace_json.empty();
   cfg.obs.metrics = !metrics_json.empty();
   cfg.obs.decision_log = !decisions_json.empty() || model_report;
+  cfg.obs.profile = !profile_json.empty() || !profile_html.empty();
   if (cfg.obs.telemetry_period_ms <= 0.0 &&
-      (!telemetry_json.empty() || !telemetry_csv.empty() || !trace_json.empty())) {
+      (!telemetry_json.empty() || !telemetry_csv.empty() || !trace_json.empty() ||
+       cfg.obs.profile)) {
     cfg.obs.telemetry_period_ms = 10.0;  // default sampling for requested outputs
   }
 
@@ -284,6 +291,20 @@ int main(int argc, char** argv) {
       if (model_report) {
         std::printf("perf-model accuracy (expected vs realized exec time):\n");
         data.decisions.print_accuracy(std::cout);
+      }
+      if (cfg.obs.profile) {
+        prof::AnalyzeOptions popts;
+        popts.decisions = &data.decisions;
+        popts.telemetry = &data.telemetry;
+        const prof::Profile profile = prof::analyze(data.capture, popts);
+        if (!profile_json.empty()) {
+          write_file(profile_json, "profile",
+                     [&](std::ostream& os) { profile.write_json(os); });
+        }
+        if (!profile_html.empty()) {
+          write_file(profile_html, "report",
+                     [&](std::ostream& os) { prof::write_html_report(os, profile); });
+        }
       }
     }
     if (baseline && !cfg.gpu_config.is_default()) {
