@@ -76,7 +76,9 @@ Outcome run_stream(Mode mode, int nt) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
   const int nt = cli.quick ? 8 : 13;
 
@@ -101,4 +103,10 @@ int main(int argc, char** argv) {
                "early windows.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -10,7 +10,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
   const auto row =
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
@@ -21,7 +23,7 @@ int main(int argc, char** argv) {
          {"eager", "prio", "random", "ws", "lws", "dm", "dmda", "dmdas", "dmdae"}) {
       core::ExperimentConfig cfg = bench::experiment_for(row, config);
       cfg.scheduler = scheduler;
-      const core::ExperimentResult r = core::run_experiment(cfg);
+      const core::ExperimentResult r = cli.run_experiment(cfg);
       table.add_row({scheduler, core::fmt(r.gflops, 0), core::fmt(r.total_energy_j, 0),
                      core::fmt(r.efficiency_gflops_per_w, 2), core::fmt(r.time_s, 2),
                      std::to_string(r.cpu_tasks)});
@@ -35,4 +37,10 @@ int main(int argc, char** argv) {
                "little makespan for extra Gflop/s/W via energy-aware placement.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

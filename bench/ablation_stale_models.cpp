@@ -10,7 +10,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
   const auto row =
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
@@ -19,9 +21,9 @@ int main(int argc, char** argv) {
                      "perf cost of staleness %"}};
   for (const char* config : {"HHBB", "HHLL", "HLLL", "BBBB"}) {
     core::ExperimentConfig cfg = bench::experiment_for(row, config);
-    const core::ExperimentResult fresh = core::run_experiment(cfg);
+    const core::ExperimentResult fresh = cli.run_experiment(cfg);
     cfg.stale_models = true;
-    const core::ExperimentResult stale = core::run_experiment(cfg);
+    const core::ExperimentResult stale = cli.run_experiment(cfg);
     table.add_row({config, "recalibrated", core::fmt(fresh.gflops, 0),
                    core::fmt(fresh.efficiency_gflops_per_w, 2), core::fmt(fresh.time_s, 2),
                    ""});
@@ -35,4 +37,10 @@ int main(int argc, char** argv) {
                "why the paper recalibrates after every power-cap modification.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -6,7 +6,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   for (const core::Operation op : {core::Operation::kGetrf, core::Operation::kGeqrf, core::Operation::kGelqf}) {
@@ -17,7 +19,7 @@ int main(int argc, char** argv) {
     base_cfg.n = 2880L * (cli.quick ? 20 : 40);
     base_cfg.nb = 2880;
     base_cfg.gpu_config = power::GpuConfig::parse("HHHH");
-    const core::ExperimentResult baseline = core::run_experiment(base_cfg);
+    const core::ExperimentResult baseline = cli.run_experiment(base_cfg);
 
     core::Table table{{"config", "perf delta %", "energy delta %", "efficiency Gf/s/W",
                        "cpu tasks"}};
@@ -25,7 +27,7 @@ int main(int argc, char** argv) {
       core::ExperimentConfig ecfg = base_cfg;
       ecfg.gpu_config = cfg;
       const core::ExperimentResult r =
-          cfg.is_default() ? baseline : core::run_experiment(ecfg);
+          cfg.is_default() ? baseline : cli.run_experiment(ecfg);
       table.add_row({cfg.to_string(), core::fmt_pct(r.perf_delta_pct(baseline)),
                      core::fmt_pct(r.energy_saving_pct(baseline)),
                      core::fmt(r.efficiency_gflops_per_w, 2), std::to_string(r.cpu_tasks)});
@@ -40,4 +42,10 @@ int main(int argc, char** argv) {
                "panel kernels keep more work on the CPUs.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -58,7 +58,9 @@ void sweep_table(const bench::Cli& cli, hw::Precision precision) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
   sweep_table(cli, hw::Precision::kDouble);
   sweep_table(cli, hw::Precision::kSingle);
@@ -66,4 +68,10 @@ int main(int argc, char** argv) {
                "single peak at 40 % TDP (saving 27.76 %).\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -3,7 +3,9 @@
 // configuration ladder (L*, B*, H).
 #include "fig_configs_common.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const auto cli = greencap::bench::Cli::parse(argc, argv);
   greencap::bench::run_config_figure(cli, greencap::hw::Precision::kDouble, "Fig. 3");
   std::cout << "\nPaper anchors (32-AMD-4-A100, double): BBBB ~ +20 % efficiency at ~ -21 % "
@@ -11,4 +13,10 @@ int main(int argc, char** argv) {
                "saves ~4 % energy.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -3,7 +3,9 @@
 // the 4-GPU node, HHBB trading ~9.5 % energy for ~14.6 % performance).
 #include "fig_configs_common.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const auto cli = greencap::bench::Cli::parse(argc, argv);
   greencap::bench::run_config_figure(cli, greencap::hw::Precision::kSingle, "Fig. 4");
   std::cout << "\nPaper anchors (32-AMD-4-A100, single): BBBB +33.78 % efficiency for GEMM; "
@@ -11,4 +13,10 @@ int main(int argc, char** argv) {
                "coincide (both 150 W).\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

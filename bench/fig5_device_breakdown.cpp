@@ -6,7 +6,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
@@ -16,7 +18,7 @@ int main(int argc, char** argv) {
                        "CPU1 %", "GPU0 %", "GPU1 %", "cpu tasks", "gpu tasks"}};
     for (const auto& cfg : power::standard_ladder(2)) {
       const core::ExperimentResult r =
-          core::run_experiment(bench::experiment_for(row, cfg.to_string()));
+          cli.run_experiment(bench::experiment_for(row, cfg.to_string()));
       const double total = r.total_energy_j;
       table.add_row(
           {cfg.to_string(), core::fmt(total, 0), core::fmt(r.energy.cpu_joules[0], 0),
@@ -36,4 +38,10 @@ int main(int argc, char** argv) {
                "the much less energy-efficient CPUs), which is why LL raises total energy.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

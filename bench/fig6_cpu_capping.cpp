@@ -6,7 +6,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
@@ -16,10 +18,10 @@ int main(int argc, char** argv) {
                          "perf delta %"}};
       for (const auto& cfg : power::standard_ladder(2)) {
         core::ExperimentConfig plain = bench::experiment_for(row, cfg.to_string());
-        const core::ExperimentResult uncapped = core::run_experiment(plain);
+        const core::ExperimentResult uncapped = cli.run_experiment(plain);
         plain.cpu_cap =
             core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
-        const core::ExperimentResult capped = core::run_experiment(plain);
+        const core::ExperimentResult capped = cli.run_experiment(plain);
         table.add_row({cfg.to_string(), core::fmt(uncapped.efficiency_gflops_per_w, 2),
                        core::fmt(capped.efficiency_gflops_per_w, 2),
                        core::fmt_pct(capped.efficiency_gain_pct(uncapped)),
@@ -34,4 +36,10 @@ int main(int argc, char** argv) {
                "performance loss; improvement across all configurations.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

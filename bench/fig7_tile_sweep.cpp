@@ -6,7 +6,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   for (const std::string platform :
@@ -34,7 +36,7 @@ int main(int argc, char** argv) {
               ecfg.cpu_cap =
                   core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
             }
-            const core::ExperimentResult r = core::run_experiment(ecfg);
+            const core::ExperimentResult r = cli.run_experiment(ecfg);
             out_row.push_back(core::fmt(r.efficiency_gflops_per_w, 2));
           }
           table.add_row(std::move(out_row));
@@ -51,4 +53,10 @@ int main(int argc, char** argv) {
                "benefits more.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -19,7 +19,7 @@ inline void run_config_figure(const Cli& cli, hw::Precision precision, const cha
       core::ExperimentConfig base_cfg = experiment_for(
           row, power::GpuConfig::uniform(gpus, power::Level::kHigh).to_string(), cli);
       cli.apply_observability(base_cfg);
-      const core::ExperimentResult baseline = core::run_experiment(base_cfg);
+      const core::ExperimentResult baseline = cli.run_experiment(base_cfg);
       cli.maybe_export(baseline);
 
       core::Table table{{"config", "perf delta %", "energy delta %", "efficiency Gf/s/W",
@@ -27,7 +27,7 @@ inline void run_config_figure(const Cli& cli, hw::Precision precision, const cha
       for (const auto& cfg : power::standard_ladder(gpus)) {
         const core::ExperimentResult r =
             cfg.is_default() ? baseline
-                             : core::run_experiment(experiment_for(row, cfg.to_string(), cli));
+                             : cli.run_experiment(experiment_for(row, cfg.to_string(), cli));
         table.add_row({cfg.to_string(), core::fmt_pct(r.perf_delta_pct(baseline)),
                        core::fmt_pct(r.energy_saving_pct(baseline)),
                        core::fmt(r.efficiency_gflops_per_w, 2), core::fmt(r.gflops, 0),

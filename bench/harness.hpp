@@ -9,9 +9,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ckpt/signal.hpp"
+#include "core/checkpoint.hpp"
+#include "core/cli_flags.hpp"
 #include "core/experiment.hpp"
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
@@ -22,6 +27,21 @@
 #include "prof/profile.hpp"
 
 namespace greencap::bench {
+
+/// Wraps a bench main: SIGINT/SIGTERM checkpoints exit with the
+/// conventional interrupt code, everything else with an error line.
+template <typename Fn>
+int run_guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const ckpt::InterruptedError& err) {
+    std::cerr << err.what() << "\n";
+    return ckpt::kInterruptExitCode;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}
 
 struct Cli {
   bool csv = false;
@@ -39,47 +59,14 @@ struct Cli {
   // Fault-injection / resilience pass-through (docs/ROBUSTNESS.md); applied
   // to every experiment the binary runs, unlike the one-shot capture above.
   core::ResilienceConfig resilience;
+  // Checkpoint/restart knobs (docs/CHECKPOINTING.md); all off by default.
+  core::CheckpointOptions ckpt;
 
   static Cli parse(int argc, char** argv) {
     Cli cli;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      auto value = [&]() -> std::string {
-        const auto eq = arg.find('=');
-        if (eq != std::string::npos) return arg.substr(eq + 1);
-        if (i + 1 >= argc) {
-          std::cerr << arg << " needs a value\n";
-          std::exit(2);
-        }
-        return argv[++i];
-      };
-      if (arg == "--csv") {
-        cli.csv = true;
-      } else if (arg == "--quick") {
-        cli.quick = true;
-      } else if (arg.rfind("--trace-json", 0) == 0) {
-        cli.trace_json = value();
-      } else if (arg.rfind("--metrics-json", 0) == 0) {
-        cli.metrics_json = value();
-      } else if (arg.rfind("--profile-json", 0) == 0) {
-        cli.profile_json = value();
-      } else if (arg.rfind("--profile-html", 0) == 0) {
-        cli.profile_html = value();
-      } else if (arg.rfind("--summary-json", 0) == 0) {
-        cli.summary_json = value();
-      } else if (arg.rfind("--telemetry-period-ms", 0) == 0) {
-        cli.telemetry_period_ms = std::atof(value().c_str());
-      } else if (arg.rfind("--faults", 0) == 0) {
-        cli.resilience.faults = value();
-      } else if (arg.rfind("--fault-seed", 0) == 0) {
-        cli.resilience.fault_seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
-      } else if (arg.rfind("--reconcile-ms", 0) == 0) {
-        cli.resilience.reconcile_ms = std::atof(value().c_str());
-      } else if (arg == "--degrade") {
-        cli.resilience.degrade = true;
-      } else if (arg.rfind("--cap-retries", 0) == 0) {
-        cli.resilience.max_cap_retries = std::atoi(value().c_str());
-      } else if (arg == "--help" || arg == "-h") {
+      if (arg == "--help" || arg == "-h") {
         std::cout << "usage: " << argv[0]
                   << " [--csv] [--quick] [--trace-json FILE] [--metrics-json FILE]"
                      " [--telemetry-period-ms N]\n"
@@ -95,14 +82,68 @@ struct Cli {
                   << "  --fault-seed N           injector RNG seed\n"
                   << "  --reconcile-ms N         cap reconciliation period (virtual ms)\n"
                   << "  --degrade                degrade to H on cap failure\n"
-                  << "  --cap-retries N          cap-write retry budget (default 3)\n";
+                  << "  --cap-retries N          cap-write retry budget (default 3)\n"
+                  << "  --checkpoint FILE        write crash-consistent checkpoints to FILE\n"
+                  << "  --checkpoint-every-ms N  also checkpoint mid-run every N virtual ms\n"
+                  << "  --watchdog-ms N          abort (with checkpoint) after N virtual ms"
+                     " without progress\n"
+                  << "  --resume FILE            resume a killed run from FILE\n"
+                  << "  --ckpt-kill-after N      test hook: _Exit(137) after the Nth"
+                     " checkpoint write\n";
         std::exit(0);
-      } else {
-        std::cerr << "unknown argument: " << arg << "\n";
-        std::exit(2);
       }
     }
+    core::FlagParser parser;
+    parser.flag("--csv", &cli.csv);
+    parser.flag("--quick", &cli.quick);
+    parser.str("--trace-json", &cli.trace_json);
+    parser.str("--metrics-json", &cli.metrics_json);
+    parser.str("--profile-json", &cli.profile_json);
+    parser.str("--profile-html", &cli.profile_html);
+    parser.str("--summary-json", &cli.summary_json);
+    parser.f64("--telemetry-period-ms", &cli.telemetry_period_ms);
+    parser.str("--faults", &cli.resilience.faults);
+    parser.u64("--fault-seed", &cli.resilience.fault_seed);
+    parser.f64("--reconcile-ms", &cli.resilience.reconcile_ms);
+    parser.flag("--degrade", &cli.resilience.degrade);
+    parser.i32("--cap-retries", &cli.resilience.max_cap_retries);
+    parser.str("--checkpoint", &cli.ckpt.path);
+    parser.str("--resume", &cli.ckpt.resume_path);
+    parser.f64("--checkpoint-every-ms", &cli.ckpt.every_ms);
+    parser.f64("--watchdog-ms", &cli.ckpt.watchdog_ms);
+    parser.i32("--ckpt-kill-after", &cli.ckpt.kill_after);
+    const std::string err = parser.parse(argc, argv);
+    if (!err.empty()) {
+      std::cerr << argv[0] << ": " << err << "\n";
+      std::exit(2);
+    }
+    if (!cli.ckpt.path.empty() || !cli.ckpt.resume_path.empty() || cli.ckpt.every_ms > 0.0 ||
+        cli.ckpt.watchdog_ms > 0.0) {
+      ckpt::install_signal_handlers();
+      cli.session_ = std::make_shared<core::CheckpointSession>(cli.ckpt);
+    }
     return cli;
+  }
+
+  /// Runs (or, on a resume, replays) one experiment through the checkpoint
+  /// session. Without checkpoint flags this is exactly core::run_experiment.
+  /// Artifacts are exported BEFORE the boundary checkpoint commits, so a
+  /// kill at the boundary never loses them; a replayed experiment that had
+  /// already exported marks the capture consumed.
+  [[nodiscard]] core::ExperimentResult run_experiment(const core::ExperimentConfig& cfg) const {
+    if (session_ == nullptr) {
+      return core::run_experiment(cfg);
+    }
+    if (auto replayed = session_->try_replay(cfg)) {
+      if (session_->last_replay_had_observability()) {
+        captured_ = true;
+      }
+      return std::move(*replayed);
+    }
+    core::ExperimentResult result = core::run_experiment(cfg, session_.get());
+    maybe_export(result);
+    session_->commit(cfg, result);
+    return result;
   }
 
   [[nodiscard]] bool observability_requested() const {
@@ -231,6 +272,7 @@ struct Cli {
 
   mutable bool captured_ = false;
   mutable std::vector<SummaryFigure> figures_;
+  std::shared_ptr<core::CheckpointSession> session_;
 };
 
 inline void emit(const core::Table& table, const Cli& cli, const std::string& title) {

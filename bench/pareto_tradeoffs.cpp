@@ -10,7 +10,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   for (const hw::Precision precision : {hw::Precision::kDouble, hw::Precision::kSingle}) {
@@ -19,7 +21,7 @@ int main(int argc, char** argv) {
 
       std::vector<core::ExperimentResult> results;
       for (const auto& cfg : power::standard_ladder(4)) {
-        results.push_back(core::run_experiment(bench::experiment_for(row, cfg.to_string())));
+        results.push_back(cli.run_experiment(bench::experiment_for(row, cfg.to_string())));
       }
       const auto front = core::pareto_front(results);
 
@@ -41,4 +43,10 @@ int main(int argc, char** argv) {
                "BBBB (most energy-frugal) — the paper's trade-off knob, made explicit.\n";
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

@@ -8,19 +8,21 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   // Flagship platform, GEMM double (the paper's headline case).
   const auto row =
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
-  const auto base = core::run_experiment(bench::experiment_for(row, "HHHH", cli));
-  const auto bbbb = core::run_experiment(bench::experiment_for(row, "BBBB", cli));
+  const auto base = cli.run_experiment(bench::experiment_for(row, "HHHH", cli));
+  const auto bbbb = cli.run_experiment(bench::experiment_for(row, "BBBB", cli));
   // With --trace-json etc. the HHBB run (the paper's subset-capping case)
   // is the one captured: the unbalanced schedule is the interesting one.
   core::ExperimentConfig hhbb_cfg = bench::experiment_for(row, "HHBB", cli);
   cli.apply_observability(hhbb_cfg);
-  const auto hhbb = core::run_experiment(hhbb_cfg);
+  const auto hhbb = cli.run_experiment(hhbb_cfg);
   cli.maybe_export(hhbb);
 
   core::Table headline{{"finding", "efficiency gain % (ours)", "paper", "slowdown % (ours)",
@@ -34,9 +36,9 @@ int main(int argc, char** argv) {
   const auto vrow =
       core::paper::table_ii_row("24-Intel-2-V100", core::Operation::kGemm, hw::Precision::kDouble);
   core::ExperimentConfig vcfg = bench::experiment_for(vrow, "BB", cli);
-  const auto v_plain = core::run_experiment(vcfg);
+  const auto v_plain = cli.run_experiment(vcfg);
   vcfg.cpu_cap = core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
-  const auto v_capped = core::run_experiment(vcfg);
+  const auto v_capped = cli.run_experiment(vcfg);
   headline.add_row({"CPU power capping (BB, cpu1@48%)",
                     core::fmt(v_capped.efficiency_gain_pct(v_plain), 2), "~+8",
                     core::fmt(-v_capped.perf_delta_pct(v_plain), 2), "~0"});
@@ -44,4 +46,10 @@ int main(int argc, char** argv) {
   bench::emit(headline, cli, "Section V-D — headline results");
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

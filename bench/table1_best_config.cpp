@@ -6,7 +6,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   core::Table table{{"GPU", "precision", "matrix size", "cap %TDP (ours)", "cap %TDP (paper)",
@@ -23,4 +25,10 @@ int main(int argc, char** argv) {
   bench::emit(table, cli, "Table I — best configuration for energy efficiency per GPU/precision");
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

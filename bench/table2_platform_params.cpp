@@ -8,7 +8,9 @@
 
 using namespace greencap;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
   core::Table table{{"platform", "op", "N", "Nt", "precision", "P_best %TDP (ours)",
@@ -26,4 +28,10 @@ int main(int argc, char** argv) {
   bench::emit(table, cli, "Table II — matrix/tile sizes and GPU power limits per platform");
   cli.write_summary(argv[0]);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return greencap::bench::run_guarded([&] { return run(argc, argv); });
 }

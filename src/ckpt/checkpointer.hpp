@@ -1,0 +1,100 @@
+// Periodic checkpoint ticker and virtual-time hang watchdog.
+//
+// The Checkpointer owns two simulator events:
+//
+//  * the *tick* — every `period` of virtual time it invokes the caller's
+//    write callback (which captures the run and writes a checkpoint
+//    file). A tick is a pure read plus file I/O: it never advances
+//    platform energy or touches run state, so enabling checkpointing
+//    leaves every artifact byte-identical. A pending interrupt (SIGINT /
+//    SIGTERM latch) is honoured at the next tick: one final checkpoint
+//    with reason "signal", then InterruptedError unwinds the run.
+//
+//  * the *watchdog* — every `watchdog` of virtual time it samples a
+//    progress counter (completed tasks). If the counter has not moved
+//    since the previous sample, the run is declared hung: a final
+//    checkpoint with reason "watchdog" is written and HangError thrown,
+//    so a deadlocked experiment aborts with its state preserved instead
+//    of spinning forever.
+//
+// Restore protocol: the events pending at capture time are re-created by
+// the experiment driver via rearm_tick_at()/rearm_watchdog_at() in the
+// global seq-preserving replay; arm_missing() then freshly arms whichever
+// of the two was not in the pending set (the tick is absent from its own
+// capture — EventQueue nulls an event before invoking it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace greencap::ckpt {
+
+/// Raised when the hang watchdog fires; the abort checkpoint is already
+/// on disk at that point.
+class HangError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Checkpointer {
+ public:
+  /// `write(reason)` must capture the run and write the checkpoint file.
+  using WriteFn = std::function<void(const char* reason)>;
+  /// Monotone progress probe; the watchdog declares a hang when two
+  /// consecutive samples are equal.
+  using ProgressFn = std::function<std::uint64_t()>;
+
+  struct Options {
+    sim::SimTime period = sim::SimTime::zero();    ///< zero = no periodic ticks
+    sim::SimTime watchdog = sim::SimTime::zero();  ///< zero = no watchdog
+  };
+
+  Checkpointer(sim::Simulator& sim, Options options, WriteFn write, ProgressFn progress)
+      : sim_{sim},
+        options_{options},
+        write_{std::move(write)},
+        progress_{std::move(progress)} {}
+
+  /// Fresh start: schedules the first tick and watchdog sample one full
+  /// period from now.
+  void arm();
+
+  /// Restore: re-creates the pending tick/watchdog at their original
+  /// absolute times (called during the seq-ordered event replay).
+  void rearm_tick_at(sim::SimTime when);
+  void rearm_watchdog_at(sim::SimTime when, std::uint64_t last_progress);
+
+  /// Restore epilogue: arms whichever event the replay did not re-create.
+  void arm_missing();
+
+  /// Cancels both events (installed as a runtime drain hook, so neither
+  /// outlives the DAG and extends the virtual clock).
+  void cancel();
+
+  [[nodiscard]] sim::EventId tick_event() const { return tick_event_; }
+  [[nodiscard]] sim::EventId watchdog_event() const { return watchdog_event_; }
+  [[nodiscard]] bool tick_armed() const { return tick_armed_; }
+  [[nodiscard]] bool watchdog_armed() const { return watchdog_armed_; }
+  [[nodiscard]] std::uint64_t watchdog_progress() const { return watchdog_progress_; }
+  [[nodiscard]] sim::SimTime period() const { return options_.period; }
+  [[nodiscard]] sim::SimTime watchdog_period() const { return options_.watchdog; }
+
+ private:
+  void tick();
+  void watchdog_fire();
+
+  sim::Simulator& sim_;
+  Options options_;
+  WriteFn write_;
+  ProgressFn progress_;
+  sim::EventId tick_event_;
+  sim::EventId watchdog_event_;
+  std::uint64_t watchdog_progress_ = 0;
+  bool tick_armed_ = false;
+  bool watchdog_armed_ = false;
+};
+
+}  // namespace greencap::ckpt

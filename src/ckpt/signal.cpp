@@ -1,0 +1,26 @@
+#include "ckpt/signal.hpp"
+
+#include <csignal>
+
+namespace greencap::ckpt {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void on_signal(int) { g_interrupted = 1; }
+
+}  // namespace
+
+void install_signal_handlers() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+bool interrupted() { return g_interrupted != 0; }
+
+void request_interrupt() { g_interrupted = 1; }
+
+void clear_interrupt() { g_interrupted = 0; }
+
+}  // namespace greencap::ckpt

@@ -1,0 +1,202 @@
+#include "core/cli_flags.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace greencap::core {
+
+namespace {
+
+std::string type_error(const std::string& name, const char* expected,
+                       const std::string& got) {
+  return "flag '" + name + "' expects " + expected + ", got '" + got + "'";
+}
+
+bool parse_full_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_full_ll(const std::string& text, long long* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_full_ull(const std::string& text, unsigned long long* out) {
+  if (text.empty() || text[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+void FlagParser::flag(const std::string& name, bool* out) {
+  Spec s;
+  s.name = name;
+  s.flag_out = out;
+  specs_.push_back(std::move(s));
+}
+
+void FlagParser::value(const std::string& name, const std::string& value_name,
+                       std::function<std::string(const std::string&)> apply) {
+  Spec s;
+  s.name = name;
+  s.takes_value = true;
+  s.value_name = value_name;
+  s.apply = std::move(apply);
+  specs_.push_back(std::move(s));
+}
+
+void FlagParser::str(const std::string& name, std::string* out) {
+  value(name, "STR", [out](const std::string& v) {
+    *out = v;
+    return std::string{};
+  });
+}
+
+void FlagParser::f64(const std::string& name, double* out) {
+  value(name, "NUM", [name, out](const std::string& v) {
+    return parse_full_double(v, out) ? std::string{} : type_error(name, "a number", v);
+  });
+}
+
+void FlagParser::i64(const std::string& name, std::int64_t* out) {
+  value(name, "N", [name, out](const std::string& v) {
+    long long ll = 0;
+    if (!parse_full_ll(v, &ll)) return type_error(name, "an integer", v);
+    *out = static_cast<std::int64_t>(ll);
+    return std::string{};
+  });
+}
+
+void FlagParser::i32(const std::string& name, int* out) {
+  value(name, "N", [name, out](const std::string& v) {
+    long long ll = 0;
+    if (!parse_full_ll(v, &ll) || ll < std::numeric_limits<int>::min() ||
+        ll > std::numeric_limits<int>::max()) {
+      return type_error(name, "an integer", v);
+    }
+    *out = static_cast<int>(ll);
+    return std::string{};
+  });
+}
+
+void FlagParser::u64(const std::string& name, std::uint64_t* out) {
+  value(name, "N", [name, out](const std::string& v) {
+    unsigned long long ull = 0;
+    if (!parse_full_ull(v, &ull)) return type_error(name, "a non-negative integer", v);
+    *out = static_cast<std::uint64_t>(ull);
+    return std::string{};
+  });
+}
+
+const FlagParser::Spec* FlagParser::find(const std::string& name) const {
+  for (const Spec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string FlagParser::parse(int argc, char* const* argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    std::string name = token;
+    std::string inline_value;
+    bool has_inline_value = false;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inline_value = token.substr(eq + 1);
+      has_inline_value = true;
+    }
+
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      std::string err = "unknown flag '" + token + "'";
+      const std::string near = suggest(name);
+      if (!near.empty()) err += " (did you mean '" + near + "'?)";
+      return err;
+    }
+    if (!spec->takes_value) {
+      if (has_inline_value) {
+        return "flag '" + name + "' does not take a value (got '" + token + "')";
+      }
+      *spec->flag_out = true;
+      continue;
+    }
+    std::string v;
+    if (has_inline_value) {
+      v = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        return "flag '" + name + "' requires a " + spec->value_name + " value";
+      }
+      v = argv[++i];
+    }
+    const std::string err = spec->apply(v);
+    if (!err.empty()) {
+      // Typed appliers already name the flag; prefix custom validator
+      // messages so every error identifies the offending flag.
+      if (err.compare(0, 5, "flag ") == 0) return err;
+      return "flag '" + name + "' " + err;
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> FlagParser::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const Spec& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+std::string FlagParser::suggest(const std::string& token) const {
+  std::string best;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (const Spec& s : specs_) {
+    const std::size_t d = edit_distance(token, s.name);
+    if (d < best_distance) {
+      best_distance = d;
+      best = s.name;
+    }
+  }
+  // "Plausibly close": within a third of the flag's length (so line noise
+  // like '--frobnicate' is not attributed to an unrelated flag).
+  if (best_distance > std::max<std::size_t>(2, best.size() / 3)) return {};
+  return best;
+}
+
+}  // namespace greencap::core

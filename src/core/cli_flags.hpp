@@ -1,0 +1,65 @@
+// Strict command-line flag parsing shared by the CLI and bench binaries.
+//
+// The previous ad-hoc parsers matched flags by prefix (`--quic` silently
+// parsed as `--quick`, `--summary-jsonX foo` as `--summary-json`), and
+// swallowed malformed numbers via atof. FlagParser is the hardened
+// replacement: a token must match a registered flag exactly (either
+// "--name value" or "--name=value"), numeric values must parse in full,
+// and anything else fails with a message naming the offending token and
+// the nearest registered flag by edit distance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace greencap::core {
+
+class FlagParser {
+ public:
+  /// Boolean switch: present -> true. Accepts no value.
+  void flag(const std::string& name, bool* out);
+
+  /// Value flag with a custom validator/applier. `apply` returns an empty
+  /// string on success or a description of why the value is malformed.
+  void value(const std::string& name, const std::string& value_name,
+             std::function<std::string(const std::string&)> apply);
+
+  // Typed conveniences over value(); all validate the complete token.
+  void str(const std::string& name, std::string* out);
+  void f64(const std::string& name, double* out);
+  void i64(const std::string& name, std::int64_t* out);
+  void i32(const std::string& name, int* out);
+  void u64(const std::string& name, std::uint64_t* out);
+
+  /// Parses argv[1..argc). Returns an empty string on success; otherwise
+  /// a one-line error ("unknown flag '--sumary-json' (did you mean
+  /// '--summary-json'?)", "flag '--n' expects an integer, got 'abc'").
+  [[nodiscard]] std::string parse(int argc, char* const* argv) const;
+
+  /// Registered flag names (usage lines, tests).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Nearest registered flag to `token` by Levenshtein distance, or empty
+  /// if nothing is plausibly close.
+  [[nodiscard]] std::string suggest(const std::string& token) const;
+
+ private:
+  struct Spec {
+    std::string name;
+    bool takes_value = false;
+    std::string value_name;
+    bool* flag_out = nullptr;
+    std::function<std::string(const std::string&)> apply;
+  };
+
+  const Spec* find(const std::string& name) const;
+
+  std::vector<Spec> specs_;
+};
+
+/// Edit distance between two strings (insert/delete/substitute, cost 1).
+[[nodiscard]] std::size_t edit_distance(const std::string& a, const std::string& b);
+
+}  // namespace greencap::core

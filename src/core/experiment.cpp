@@ -1,8 +1,15 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "ckpt/checkpointer.hpp"
+#include "ckpt/file.hpp"
+#include "core/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "hw/presets.hpp"
 #include "la/calibration_sets.hpp"
@@ -148,7 +155,25 @@ void fill_capture(prof::RunCapture& capture, const ExperimentConfig& config,
 }
 
 template <typename T>
-ExperimentResult run_typed(const ExperimentConfig& config) {
+ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* session) {
+  // A resume consumes the checkpoint's mid-run state up front; everything
+  // below is then constructed exactly as in a fresh run (same platform,
+  // same DAG, same component wiring) and the saved dynamic state overlaid
+  // on top, so restored pointers and indices line up by construction.
+  std::optional<ckpt_io::RunState> resume;
+  if (session != nullptr) {
+    resume = session->take_pending_run(config);
+  }
+  const bool restoring = resume.has_value();
+  const bool use_checkpointer =
+      session != nullptr &&
+      (session->options().every_ms > 0.0 || session->options().watchdog_ms > 0.0);
+  if (config.execute_kernels && (restoring || use_checkpointer)) {
+    throw std::invalid_argument(
+        "run_experiment: mid-run checkpoint/resume is incompatible with execute_kernels "
+        "(numeric tile data is not captured)");
+  }
+
   hw::Platform platform{hw::presets::platform_by_name(config.platform)};
   sim::Simulator simulator;
 
@@ -266,17 +291,19 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
       la::calibrate_lq_codelets<T>(calibrator, lq_codelets, {config.nb});
     }
   };
-  if (config.stale_models) {
-    // Maladaptation ablation: models measured at default power, caps
-    // applied afterwards, no recalibration.
-    calibrate_all();
-    apply_caps();
-  } else {
-    // Paper protocol: caps first, then calibration, so the history models
-    // see the capped speeds (section III-B).
-    apply_caps();
-    if (config.recalibrate) {
+  if (!restoring) {
+    if (config.stale_models) {
+      // Maladaptation ablation: models measured at default power, caps
+      // applied afterwards, no recalibration.
       calibrate_all();
+      apply_caps();
+    } else {
+      // Paper protocol: caps first, then calibration, so the history models
+      // see the capped speeds (section III-B).
+      apply_caps();
+      if (config.recalibrate) {
+        calibrate_all();
+      }
     }
   }
 
@@ -284,98 +311,349 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   // Reconciliation and the injector's timed faults start only now, after
   // calibration, so plan times mean "seconds into the measured run"; drain
   // hooks stop both at the instant the DAG retires, keeping the makespan
-  // free of stray bookkeeping events.
+  // free of stray bookkeeping events. On a resume neither is armed here:
+  // their pending events come back through the ordered event replay.
   if (config.resilience.reconcile_ms > 0.0) {
-    manager.start_reconciliation(
-        sim::SimTime::millis(config.resilience.reconcile_ms),
-        [&runtime](std::size_t gpu) { runtime.invalidate_gpu_history(gpu); });
+    if (!restoring) {
+      manager.start_reconciliation(
+          sim::SimTime::millis(config.resilience.reconcile_ms),
+          [&runtime](std::size_t gpu) { runtime.invalidate_gpu_history(gpu); });
+    }
     runtime.add_drain_hook([&manager] { manager.stop_reconciliation(); });
   }
-  if (injector != nullptr) {
+  if (injector != nullptr && !restoring) {
     injector->arm(simulator);
   }
 
-  // -- build and run the operation --------------------------------------------
+  // -- build the operation's data and task graph -------------------------------
+  // On a resume the same registrations and submissions rebuild the static
+  // DAG under begin_restore(), which suppresses execution until the
+  // checkpointed dynamic state is overlaid.
   const bool allocate = config.execute_kernels;
+  if (restoring) {
+    runtime.begin_restore();
+  }
   la::TileMatrix<T> a{config.n, config.nb, allocate, "A"};
   a.register_with(runtime);
   sim::Xoshiro256 rng{config.seed};
+  std::optional<la::TileMatrix<T>> b;
+  std::optional<la::TileMatrix<T>> c;
+  std::optional<la::QrWorkspace<T>> workspace;
+  switch (config.op) {
+    case Operation::kGemm:
+      b.emplace(config.n, config.nb, allocate, "B");
+      c.emplace(config.n, config.nb, allocate, "C");
+      b->register_with(runtime);
+      c->register_with(runtime);
+      if (allocate) {
+        a.fill_random(rng);
+        b->fill_random(rng);
+      }
+      break;
+    case Operation::kPotrf:
+      if (allocate) {
+        a.make_spd(rng);
+      }
+      break;
+    case Operation::kGetrf:
+      if (allocate) {
+        a.make_diagonally_dominant(rng);
+      }
+      break;
+    case Operation::kGeqrf:
+    case Operation::kGelqf:
+      if (allocate) {
+        a.fill_random(rng);
+        for (std::int64_t i = 0; i < config.n; ++i) {
+          a.at(i, i) += T{2};
+        }
+      }
+      workspace.emplace(runtime, a);
+      break;
+  }
 
   // Arm telemetry only around the measured operation, mirroring the
   // counter-read-at-start/end energy methodology: calibration activity
   // stays out of the profile.
-  if (config.obs.telemetry_period_ms > 0.0) {
-    sampler.start(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
+  sim::SimTime t_begin;
+  hw::EnergyReading start;
+  if (!restoring) {
+    if (config.obs.telemetry_period_ms > 0.0) {
+      sampler.start(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
+    }
+    // Instant of the start-of-window energy read: calibration (which never
+    // advances the clock) is behind us, but resilient cap writes may have —
+    // so read the clock here, not at zero.
+    t_begin = simulator.now();
+    start = read_energy(simulator.now());
   }
-  // Instant of the start-of-window energy read: calibration (which never
-  // advances the clock) is behind us, but resilient cap writes may have —
-  // so read the clock here, not at zero.
-  const sim::SimTime t_begin = simulator.now();
+
   switch (config.op) {
-    case Operation::kGemm: {
-      la::TileMatrix<T> b{config.n, config.nb, allocate, "B"};
-      la::TileMatrix<T> c{config.n, config.nb, allocate, "C"};
-      b.register_with(runtime);
-      c.register_with(runtime);
-      if (allocate) {
-        a.fill_random(rng);
-        b.fill_random(rng);
-      }
-      const hw::EnergyReading start = read_energy(simulator.now());
-      la::submit_gemm<T>(runtime, codelets, a, b, c);
-      runtime.wait_all();
-      result.energy = read_energy(simulator.now()) - start;
-      break;
-    }
-    case Operation::kPotrf: {
-      if (allocate) {
-        a.make_spd(rng);
-      }
-      const hw::EnergyReading start = read_energy(simulator.now());
-      la::submit_potrf<T>(runtime, codelets, a);
-      runtime.wait_all();
-      result.energy = read_energy(simulator.now()) - start;
-      break;
-    }
-    case Operation::kGetrf: {
-      if (allocate) {
-        a.make_diagonally_dominant(rng);
-      }
-      const hw::EnergyReading start = read_energy(simulator.now());
-      la::submit_getrf<T>(runtime, lu_codelets, a);
-      runtime.wait_all();
-      result.energy = read_energy(simulator.now()) - start;
-      break;
-    }
-    case Operation::kGeqrf: {
-      if (allocate) {
-        a.fill_random(rng);
-        for (std::int64_t i = 0; i < config.n; ++i) {
-          a.at(i, i) += T{2};
-        }
-      }
-      la::QrWorkspace<T> workspace{runtime, a};
-      const hw::EnergyReading start = read_energy(simulator.now());
-      la::submit_geqrf<T>(runtime, qr_codelets, a, workspace);
-      runtime.wait_all();
-      result.energy = read_energy(simulator.now()) - start;
-      break;
-    }
-    case Operation::kGelqf: {
-      if (allocate) {
-        a.fill_random(rng);
-        for (std::int64_t i = 0; i < config.n; ++i) {
-          a.at(i, i) += T{2};
-        }
-      }
-      la::QrWorkspace<T> workspace{runtime, a};
-      const hw::EnergyReading start = read_energy(simulator.now());
-      la::submit_gelqf<T>(runtime, lq_codelets, a, workspace);
-      runtime.wait_all();
-      result.energy = read_energy(simulator.now()) - start;
-      break;
-    }
+    case Operation::kGemm: la::submit_gemm<T>(runtime, codelets, a, *b, *c); break;
+    case Operation::kPotrf: la::submit_potrf<T>(runtime, codelets, a); break;
+    case Operation::kGetrf: la::submit_getrf<T>(runtime, lu_codelets, a); break;
+    case Operation::kGeqrf: la::submit_geqrf<T>(runtime, qr_codelets, a, *workspace); break;
+    case Operation::kGelqf: la::submit_gelqf<T>(runtime, lq_codelets, a, *workspace); break;
   }
+
+  // -- checkpoint capture / restore --------------------------------------------
+  std::unique_ptr<ckpt::Checkpointer> checkpointer;
+
+  // Pure read of the complete resumable state; never advances meters or
+  // the clock, so a run with checkpointing on stays byte-identical.
+  auto capture_run_state = [&]() {
+    ckpt_io::RunState s;
+    s.t_virtual_s = simulator.now().sec();
+    s.t_begin_s = t_begin.sec();
+    s.watchdog_progress = checkpointer != nullptr ? checkpointer->watchdog_progress() : 0;
+    s.start_energy = start;
+    s.runtime = runtime.snapshot();
+    for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
+      const hw::GpuModel& gpu = platform.gpu(g);
+      ckpt_io::GpuState gs;
+      gs.cap_w = gpu.power_cap();
+      gs.busy = gpu.busy();
+      gs.failed = gpu.failed();
+      gs.meter_power_w = gpu.meter().power_w();
+      gs.meter_joules = gpu.meter().joules();
+      gs.meter_last_update_s = gpu.meter().last_update().sec();
+      s.gpus.push_back(gs);
+    }
+    for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
+      const hw::CpuModel& cpu = platform.cpu(p);
+      ckpt_io::CpuState cs;
+      cs.cap_w = cpu.power_cap();
+      cs.active_cores = cpu.active_cores();
+      cs.meter_power_w = cpu.meter().power_w();
+      cs.meter_joules = cpu.meter().joules();
+      cs.meter_last_update_s = cpu.meter().last_update().sec();
+      s.cpus.push_back(cs);
+    }
+    for (const hw::MonotonicEnergyTracker& tracker : gpu_energy) {
+      ckpt_io::TrackerState ts;
+      ts.offset_j = tracker.offset();
+      ts.last_raw_j = tracker.last_raw();
+      ts.resets = tracker.resets_seen();
+      s.trackers.push_back(ts);
+    }
+    s.power = manager.snapshot();
+    if (injector != nullptr) {
+      s.has_injector = true;
+      s.injector = injector->snapshot();
+    }
+    if (config.obs.trace) {
+      s.trace_spans = runtime.trace().spans();
+      s.trace_markers = runtime.trace().markers();
+    }
+    if (obs_data != nullptr && config.obs.metrics) {
+      for (const auto& [name, counter] : obs_data->metrics.counters()) {
+        s.counters.emplace_back(name, counter.value());
+      }
+      for (const auto& [name, gauge] : obs_data->metrics.gauges()) {
+        s.gauges.emplace_back(name, gauge.value());
+      }
+      for (const auto& [name, hist] : obs_data->metrics.histograms()) {
+        ckpt_io::HistogramState h;
+        h.name = name;
+        h.bounds = hist.bounds();
+        h.buckets = hist.buckets();
+        h.count = hist.count();
+        h.sum = hist.sum();
+        h.min = hist.min();
+        h.max = hist.max();
+        s.histograms.push_back(std::move(h));
+      }
+    }
+    if (obs_data != nullptr && config.obs.decision_log) {
+      s.decisions = obs_data->decisions.decisions();
+    }
+    if (config.obs.telemetry_period_ms > 0.0) {
+      s.telemetry = sampler.series().samples();
+    }
+    s.degradation = result.degradation.events();
+
+    // Pending simulator events, sorted by their original scheduling order
+    // (seq) so the replay preserves every (time, seq) tie-break.
+    std::vector<std::pair<std::uint64_t, ckpt_io::EventRecord>> pending;
+    auto add_event = [&](ckpt_io::EventKind kind, std::int32_t index, sim::EventId id) {
+      if (!simulator.pending(id)) {
+        return;
+      }
+      ckpt_io::EventRecord rec;
+      rec.kind = kind;
+      rec.index = index;
+      rec.when_s = simulator.time_of(id).sec();
+      pending.emplace_back(id.seq, rec);
+    };
+    for (std::size_t i = 0; i < runtime.worker_count(); ++i) {
+      const rt::Worker& w = runtime.worker(i);
+      if (w.inflight == nullptr) {
+        continue;
+      }
+      if (w.begin_event.seq != w.end_event.seq) {
+        add_event(ckpt_io::EventKind::kWorkerBegin, w.id(), w.begin_event);
+      }
+      add_event(ckpt_io::EventKind::kWorkerEnd, w.id(), w.end_event);
+    }
+    if (manager.reconciling()) {
+      add_event(ckpt_io::EventKind::kReconcile, -1, manager.reconcile_event());
+    }
+    if (sampler.running()) {
+      add_event(ckpt_io::EventKind::kTelemetry, -1, sampler.pending_event());
+    }
+    if (injector != nullptr) {
+      for (const auto& [plan_index, id] : injector->pending()) {
+        add_event(ckpt_io::EventKind::kFault, static_cast<std::int32_t>(plan_index), id);
+      }
+    }
+    if (checkpointer != nullptr && checkpointer->watchdog_armed()) {
+      add_event(ckpt_io::EventKind::kWatchdog, -1, checkpointer->watchdog_event());
+    }
+    if (checkpointer != nullptr && checkpointer->tick_armed()) {
+      add_event(ckpt_io::EventKind::kCkptTick, -1, checkpointer->tick_event());
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const auto& lhs, const auto& rhs) { return lhs.first < rhs.first; });
+    s.events.reserve(pending.size());
+    for (auto& [seq, rec] : pending) {
+      s.events.push_back(rec);
+    }
+    return s;
+  };
+
+  if (use_checkpointer) {
+    ckpt::Checkpointer::Options copt;
+    copt.period = sim::SimTime::millis(session->options().every_ms);
+    copt.watchdog = sim::SimTime::millis(session->options().watchdog_ms);
+    checkpointer = std::make_unique<ckpt::Checkpointer>(
+        simulator, copt,
+        [&](const char* reason) {
+          if (session->writes_enabled()) {
+            session->write_run_checkpoint(reason, config, capture_run_state());
+          }
+        },
+        [&runtime] { return runtime.stats().tasks_completed; });
+    runtime.add_drain_hook([&checkpointer] { checkpointer->cancel(); });
+  }
+
+  if (restoring) {
+    runtime.finish_restore(resume->runtime);
+    if (resume->gpus.size() != platform.gpu_count() ||
+        resume->cpus.size() != platform.cpu_count() ||
+        resume->trackers.size() != gpu_energy.size()) {
+      throw ckpt::CheckpointError{"checkpoint device state does not match the platform"};
+    }
+    for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
+      const ckpt_io::GpuState& gs = resume->gpus[g];
+      platform.gpu(g).restore_state(gs.cap_w, gs.busy, gs.failed, gs.meter_power_w,
+                                    gs.meter_joules,
+                                    sim::SimTime::seconds(gs.meter_last_update_s));
+    }
+    for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
+      const ckpt_io::CpuState& cs = resume->cpus[p];
+      platform.cpu(p).restore_state(cs.cap_w, cs.active_cores, cs.meter_power_w,
+                                    cs.meter_joules,
+                                    sim::SimTime::seconds(cs.meter_last_update_s));
+    }
+    for (std::size_t g = 0; g < gpu_energy.size(); ++g) {
+      const ckpt_io::TrackerState& ts = resume->trackers[g];
+      gpu_energy[g].restore(ts.offset_j, ts.last_raw_j, ts.resets);
+    }
+    manager.restore(resume->power,
+                    [&runtime](std::size_t gpu) { runtime.invalidate_gpu_history(gpu); });
+    if (injector != nullptr && resume->has_injector) {
+      injector->restore(resume->injector, simulator);
+    }
+    if (config.obs.trace) {
+      runtime.trace().restore(std::move(resume->trace_spans),
+                              std::move(resume->trace_markers));
+    }
+    if (obs_data != nullptr && config.obs.metrics) {
+      for (const auto& [name, value] : resume->counters) {
+        obs_data->metrics.counter(name).restore(value);
+      }
+      for (const auto& [name, value] : resume->gauges) {
+        obs_data->metrics.gauge(name).set(value);
+      }
+      for (ckpt_io::HistogramState& h : resume->histograms) {
+        obs_data->metrics.histogram(h.name, h.bounds)
+            .restore(std::move(h.buckets), h.count, h.sum, h.min, h.max);
+      }
+    }
+    if (obs_data != nullptr && config.obs.decision_log) {
+      for (obs::Decision& d : resume->decisions) {
+        obs_data->decisions.add(std::move(d));
+      }
+    }
+    if (config.obs.telemetry_period_ms > 0.0) {
+      sampler.restore_series(std::move(resume->telemetry));
+      sampler.resume(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
+    }
+    for (fault::DegradationEvent& e : resume->degradation) {
+      result.degradation.add(std::move(e));
+    }
+    t_begin = sim::SimTime::seconds(resume->t_begin_s);
+    start = resume->start_energy;
+    simulator.restore_clock(sim::SimTime::seconds(resume->t_virtual_s));
+
+    // Ordered replay: events re-created in ascending original seq occupy
+    // the lowest new seqs, so every same-instant tie resolves as it did in
+    // the checkpointed run.
+    std::vector<bool> begin_replayed(runtime.worker_count(), false);
+    for (const ckpt_io::EventRecord& e : resume->events) {
+      if (e.kind == ckpt_io::EventKind::kWorkerBegin) {
+        begin_replayed.at(static_cast<std::size_t>(e.index)) = true;
+      }
+    }
+    for (const ckpt_io::EventRecord& e : resume->events) {
+      const sim::SimTime when = sim::SimTime::seconds(e.when_s);
+      switch (e.kind) {
+        case ckpt_io::EventKind::kWorkerBegin:
+          runtime.reschedule_begin(e.index);
+          break;
+        case ckpt_io::EventKind::kWorkerEnd:
+          runtime.reschedule_end(e.index,
+                                 begin_replayed.at(static_cast<std::size_t>(e.index)));
+          break;
+        case ckpt_io::EventKind::kReconcile:
+          manager.rearm_reconcile_at(when);
+          break;
+        case ckpt_io::EventKind::kTelemetry:
+          sampler.rearm_at(when);
+          break;
+        case ckpt_io::EventKind::kFault:
+          if (injector == nullptr) {
+            throw ckpt::CheckpointError{"checkpoint has a pending fault but no fault plan"};
+          }
+          injector->rearm_event(static_cast<std::size_t>(e.index), when);
+          break;
+        case ckpt_io::EventKind::kWatchdog:
+          if (checkpointer == nullptr) {
+            throw ckpt::CheckpointError{
+                "checkpoint has a pending watchdog probe: resume with the same "
+                "--watchdog-ms as the checkpointed run"};
+          }
+          checkpointer->rearm_watchdog_at(when, resume->watchdog_progress);
+          break;
+        case ckpt_io::EventKind::kCkptTick:
+          if (checkpointer == nullptr) {
+            throw ckpt::CheckpointError{
+                "checkpoint has a pending checkpoint tick: resume with the same "
+                "--checkpoint-every-ms as the checkpointed run"};
+          }
+          checkpointer->rearm_tick_at(when);
+          break;
+      }
+    }
+    if (checkpointer != nullptr) {
+      checkpointer->arm_missing();
+    }
+  } else if (checkpointer != nullptr) {
+    checkpointer->arm();
+  }
+
+  runtime.wait_all();
+  result.energy = read_energy(simulator.now()) - start;
   sampler.stop();
   result.stats = runtime.stats();
   if (injector != nullptr) {
@@ -424,12 +702,16 @@ void finalize_metrics(ExperimentResult& result) {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, nullptr);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config, CheckpointSession* session) {
   if (config.n <= 0 || config.nb <= 0 || config.n % config.nb != 0) {
     throw std::invalid_argument("run_experiment: n must be a positive multiple of nb");
   }
   ExperimentResult result = config.precision == hw::Precision::kDouble
-                                ? run_typed<double>(config)
-                                : run_typed<float>(config);
+                                ? run_typed<double>(config, session)
+                                : run_typed<float>(config, session);
   finalize_metrics(result);
   return result;
 }

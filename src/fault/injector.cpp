@@ -33,6 +33,36 @@ void FaultInjector::set_metrics(obs::MetricsRegistry* metrics) {
   m_dropout_ = &metrics->counter("fault.injected.dropout");
 }
 
+void FaultInjector::schedule_timed(std::size_t index, sim::SimTime when) {
+  const FaultEvent& e = plan_.events()[index];
+  pending_.push_back({index, sim_->at(when, [this, &e] {
+                        const sim::SimTime now = sim_->now();
+                        note_fired(e, now);
+                        switch (e.kind) {
+                          case FaultKind::kCapDrift:
+                            ++counts_.drifts;
+                            for (const auto& fn : drift_handlers_) fn(e.gpu, e.factor, e.watts, now);
+                            break;
+                          case FaultKind::kEnergyReset:
+                            ++counts_.energy_resets;
+                            for (const auto& fn : energy_reset_handlers_) fn(e.gpu, now);
+                            break;
+                          case FaultKind::kGpuDropout:
+                            ++counts_.dropouts;
+                            if (e.gpu >= 0) {
+                              if (static_cast<std::size_t>(e.gpu) >= gpu_dropped_.size()) {
+                                gpu_dropped_.resize(static_cast<std::size_t>(e.gpu) + 1, false);
+                              }
+                              gpu_dropped_[static_cast<std::size_t>(e.gpu)] = true;
+                            }
+                            for (const auto& fn : dropout_handlers_) fn(e.gpu, now);
+                            break;
+                          default:
+                            break;
+                        }
+                      })});
+}
+
 void FaultInjector::arm(sim::Simulator& sim) {
   if (armed_) {
     throw std::logic_error("FaultInjector::arm called twice");
@@ -40,37 +70,13 @@ void FaultInjector::arm(sim::Simulator& sim) {
   armed_ = true;
   sim_ = &sim;
   origin_ = sim.now();
-  for (const FaultEvent& e : plan_.events()) {
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const FaultEvent& e = plan_.events()[i];
     switch (e.kind) {
       case FaultKind::kCapDrift:
       case FaultKind::kEnergyReset:
       case FaultKind::kGpuDropout:
-        pending_.push_back(sim.at(origin_ + sim::SimTime::seconds(e.t), [this, &e] {
-          const sim::SimTime now = sim_->now();
-          note_fired(e, now);
-          switch (e.kind) {
-            case FaultKind::kCapDrift:
-              ++counts_.drifts;
-              for (const auto& fn : drift_handlers_) fn(e.gpu, e.factor, e.watts, now);
-              break;
-            case FaultKind::kEnergyReset:
-              ++counts_.energy_resets;
-              for (const auto& fn : energy_reset_handlers_) fn(e.gpu, now);
-              break;
-            case FaultKind::kGpuDropout:
-              ++counts_.dropouts;
-              if (e.gpu >= 0) {
-                if (static_cast<std::size_t>(e.gpu) >= gpu_dropped_.size()) {
-                  gpu_dropped_.resize(static_cast<std::size_t>(e.gpu) + 1, false);
-                }
-                gpu_dropped_[static_cast<std::size_t>(e.gpu)] = true;
-              }
-              for (const auto& fn : dropout_handlers_) fn(e.gpu, now);
-              break;
-            default:
-              break;
-          }
-        }));
+        schedule_timed(i, origin_ + sim::SimTime::seconds(e.t));
         break;
       case FaultKind::kCapWriteFail:
       case FaultKind::kStraggler:
@@ -81,11 +87,40 @@ void FaultInjector::arm(sim::Simulator& sim) {
 
 void FaultInjector::cancel_pending() {
   if (sim_ != nullptr) {
-    for (const sim::EventId id : pending_) {
+    for (const auto& [index, id] : pending_) {
       sim_->cancel(id);
     }
   }
   pending_.clear();
+}
+
+FaultInjector::Snapshot FaultInjector::snapshot() const {
+  Snapshot s;
+  s.rng_state = rng_.state();
+  s.armed = armed_;
+  s.origin_s = origin_.sec();
+  s.remaining_count = remaining_count_;
+  s.gpu_dropped = gpu_dropped_;
+  s.counts = counts_;
+  return s;
+}
+
+void FaultInjector::restore(const Snapshot& snapshot, sim::Simulator& sim) {
+  rng_.set_state(snapshot.rng_state);
+  armed_ = snapshot.armed;
+  origin_ = sim::SimTime::seconds(snapshot.origin_s);
+  remaining_count_ = snapshot.remaining_count;
+  gpu_dropped_ = snapshot.gpu_dropped;
+  counts_ = snapshot.counts;
+  sim_ = &sim;
+  pending_.clear();
+}
+
+void FaultInjector::rearm_event(std::size_t plan_index, sim::SimTime when) {
+  if (plan_index >= plan_.size()) {
+    throw std::invalid_argument("FaultInjector::rearm_event: plan index out of range");
+  }
+  schedule_timed(plan_index, when);
 }
 
 bool FaultInjector::in_window(const FaultEvent& e, sim::SimTime now, bool relative) const {

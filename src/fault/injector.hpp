@@ -20,9 +20,11 @@
 // dependency).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
@@ -96,9 +98,39 @@ class FaultInjector {
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] sim::SimTime origin() const { return origin_; }
 
+  // -- checkpoint support ---------------------------------------------------
+
+  /// Complete mutable state apart from the pending simulator events, which
+  /// are checkpointed (by plan index + fire time) with the global event
+  /// set and re-created via rearm_event().
+  struct Snapshot {
+    std::array<std::uint64_t, 4> rng_state{};
+    bool armed = false;
+    double origin_s = 0.0;
+    std::vector<int> remaining_count;
+    std::vector<bool> gpu_dropped;
+    Counts counts;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores the snapshot without scheduling anything; `sim` becomes the
+  /// clock for subsequent queries and rearm_event() calls.
+  void restore(const Snapshot& snapshot, sim::Simulator& sim);
+
+  /// Re-creates the timed event for plan entry `plan_index` at absolute
+  /// time `when` (checkpoint restore of a not-yet-fired fault).
+  void rearm_event(std::size_t plan_index, sim::SimTime when);
+
+  /// Not-yet-fired timed faults as (plan index, event id) pairs.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, sim::EventId>>& pending() const {
+    return pending_;
+  }
+
  private:
   /// Records the firing of event `e` (metrics, trace marker) at `now`.
   void note_fired(const FaultEvent& e, sim::SimTime now);
+  /// Schedules the timed fault for plan entry `index` at absolute `when`.
+  void schedule_timed(std::size_t index, sim::SimTime when);
   /// Window test [t, until); `relative` shifts the axis to the arm origin.
   [[nodiscard]] bool in_window(const FaultEvent& e, sim::SimTime now, bool relative) const;
 
@@ -110,7 +142,7 @@ class FaultInjector {
   /// Per-plan-event remaining forced-failure budget (capfail count=N).
   std::vector<int> remaining_count_;
   std::vector<bool> gpu_dropped_;
-  std::vector<sim::EventId> pending_;
+  std::vector<std::pair<std::size_t, sim::EventId>> pending_;
   sim::Simulator* sim_ = nullptr;
 
   std::vector<std::function<void(int, double, double, sim::SimTime)>> drift_handlers_;

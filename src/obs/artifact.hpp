@@ -5,6 +5,11 @@
 // the stream survived all three. A full disk or yanked directory turns
 // into a clear stderr message and a false return (callers exit nonzero)
 // instead of a silently truncated artifact.
+//
+// Writes are atomic: the writer runs against "<path>.tmp" which is renamed
+// over the target only after a successful flush. A crash mid-export leaves
+// either the previous artifact or none — never a truncated file that a
+// later resume could mistake for a complete one.
 #pragma once
 
 #include <cstdio>
@@ -16,20 +21,31 @@ namespace greencap::obs {
 
 /// Writes `writer(std::ostream&)` to `path`. Returns false — after
 /// printing "error: ..." with the path and artifact kind to stderr — if
-/// the file cannot be opened or any write/flush fails.
+/// the file cannot be opened or any write/flush/rename fails.
 template <typename Writer>
 [[nodiscard]] bool write_artifact(const std::string& path, const char* what, Writer&& writer) {
-  std::ofstream os{path, std::ios::binary};
-  if (!os) {
-    std::fprintf(stderr, "error: cannot open %s for %s export\n", path.c_str(), what);
-    return false;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os{tmp, std::ios::binary | std::ios::trunc};
+    if (!os) {
+      std::fprintf(stderr, "error: cannot open %s for %s export\n", path.c_str(), what);
+      return false;
+    }
+    std::forward<Writer>(writer)(os);
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "error: writing %s export to %s failed (disk full or I/O error); "
+                           "the file is incomplete\n",
+                   what, path.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  std::forward<Writer>(writer)(os);
-  os.flush();
-  if (!os) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::fprintf(stderr, "error: writing %s export to %s failed (disk full or I/O error); "
                          "the file is incomplete\n",
                  what, path.c_str());
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

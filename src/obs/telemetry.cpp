@@ -127,27 +127,56 @@ void TelemetrySampler::stop() {
   sim_ = nullptr;
 }
 
+void TelemetrySampler::restore_series(std::vector<TelemetrySample> samples) {
+  for (const TelemetrySample& s : samples) {
+    if (s.values.size() != series_.channels_.size()) {
+      throw std::invalid_argument(
+          "TelemetrySampler: restored sample row does not match the channel count");
+    }
+  }
+  series_.samples_ = std::move(samples);
+}
+
+void TelemetrySampler::resume(sim::Simulator& sim, sim::SimTime period) {
+  if (period <= sim::SimTime::zero()) {
+    throw std::invalid_argument("TelemetrySampler: period must be positive");
+  }
+  sim_ = &sim;
+  period_ = period;
+  pending_ = sim::EventId{};
+}
+
+void TelemetrySampler::rearm_at(sim::SimTime when) {
+  pending_ = sim_->at(when, [this] { tick(); });
+}
+
 void attach_platform_channels(TelemetrySampler& sampler, hw::Platform& platform) {
   // The power probes report the energy delta over the elapsed interval
   // divided by its length — the time-weighted average draw — seeded with
   // the instantaneous draw on the first sample (zero-length interval).
+  //
+  // Probes are deliberately stateless: the previous instant's joules are
+  // read back from the recorded series (the sibling energy channel of the
+  // last row, which is complete because sample_now pushes a row only after
+  // all probes ran). A sampler restored from a checkpointed series then
+  // produces the exact rows the uninterrupted run would have.
+  const TelemetrySampler* self = &sampler;
+  auto interval_power = [self](auto* device, std::size_t power_channel) {
+    return [self, device, power_channel](sim::SimTime now) {
+      device->advance(now);
+      const double j = device->energy_joules();
+      const auto& rows = self->series().samples();
+      if (!rows.empty() && rows.back().t < now) {
+        const double prev_j = rows.back().values.at(power_channel + 1);
+        return (j - prev_j) / (now - rows.back().t).sec();
+      }
+      return device->current_power_w();
+    };
+  };
   for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
     const std::string prefix = "gpu" + std::to_string(g);
     hw::GpuModel* gpu = &platform.gpu(g);
-    auto prev_t = sim::SimTime::infinity();
-    double prev_j = 0.0;
-    sampler.add_channel(prefix + ".power_w", "W",
-                        [gpu, prev_t, prev_j](sim::SimTime now) mutable {
-                          gpu->advance(now);
-                          const double j = gpu->energy_joules();
-                          double watts = gpu->current_power_w();
-                          if (prev_t < now) {
-                            watts = (j - prev_j) / (now - prev_t).sec();
-                          }
-                          prev_t = now;
-                          prev_j = j;
-                          return watts;
-                        });
+    sampler.add_channel(prefix + ".power_w", "W", interval_power(gpu, sampler.channel_count()));
     sampler.add_channel(prefix + ".energy_j", "J", [gpu](sim::SimTime now) {
       gpu->advance(now);
       return gpu->energy_joules();
@@ -158,20 +187,7 @@ void attach_platform_channels(TelemetrySampler& sampler, hw::Platform& platform)
   for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
     const std::string prefix = "cpu" + std::to_string(p);
     hw::CpuModel* cpu = &platform.cpu(p);
-    auto prev_t = sim::SimTime::infinity();
-    double prev_j = 0.0;
-    sampler.add_channel(prefix + ".power_w", "W",
-                        [cpu, prev_t, prev_j](sim::SimTime now) mutable {
-                          cpu->advance(now);
-                          const double j = cpu->energy_joules();
-                          double watts = cpu->current_power_w();
-                          if (prev_t < now) {
-                            watts = (j - prev_j) / (now - prev_t).sec();
-                          }
-                          prev_t = now;
-                          prev_j = j;
-                          return watts;
-                        });
+    sampler.add_channel(prefix + ".power_w", "W", interval_power(cpu, sampler.channel_count()));
     sampler.add_channel(prefix + ".energy_j", "J", [cpu](sim::SimTime now) {
       cpu->advance(now);
       return cpu->energy_joules();

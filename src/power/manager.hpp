@@ -109,6 +109,32 @@ class PowerManager {
   void stop_reconciliation();
   [[nodiscard]] bool reconciling() const { return reconcile_active_; }
 
+  // -- checkpoint support --------------------------------------------------
+
+  /// Complete mutable manager state apart from the pending reconcile
+  /// event, which is checkpointed with the global event set and re-created
+  /// via rearm_reconcile_at().
+  struct Snapshot {
+    std::vector<std::optional<double>> best_cap_w;
+    std::vector<std::uint32_t> target_mw;
+    bool reconcile_active = false;
+    double reconcile_period_s = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Restores the snapshot without scheduling anything. `on_reassert`
+  /// re-attaches the caller's reconciliation callback (closures cannot be
+  /// checkpointed).
+  void restore(const Snapshot& snapshot, std::function<void(std::size_t gpu)> on_reassert = {});
+
+  /// Re-creates the pending reconcile event at absolute time `when`
+  /// (checkpoint restore; restore() must have run first).
+  void rearm_reconcile_at(sim::SimTime when);
+
+  /// Pending-reconcile handle for checkpoint capture.
+  [[nodiscard]] sim::EventId reconcile_event() const { return reconcile_event_; }
+  [[nodiscard]] sim::SimTime reconcile_period() const { return reconcile_period_; }
+
   // -- observability (optional, not owned) ---------------------------------
 
   /// Counts cap changes into `metrics` ("power.gpu_cap_changes",

@@ -57,6 +57,40 @@ void HistoryPerfModel::invalidate() {
   regression_.clear();
 }
 
+std::vector<HistoryPerfModel::HistoryEntry> HistoryPerfModel::export_history() const {
+  std::vector<HistoryEntry> out;
+  out.reserve(history_.size());
+  for (const auto& [key, stats] : history_) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key), std::get<3>(key),
+                   stats.samples, stats.mean_s, stats.m2});
+  }
+  return out;
+}
+
+std::vector<HistoryPerfModel::RegressionEntry> HistoryPerfModel::export_regression() const {
+  std::vector<RegressionEntry> out;
+  out.reserve(regression_.size());
+  for (const auto& [key, reg] : regression_) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key), reg.sum_xt, reg.sum_xx,
+                   reg.samples});
+  }
+  return out;
+}
+
+void HistoryPerfModel::import_state(const std::vector<HistoryEntry>& history,
+                                    const std::vector<RegressionEntry>& regression) {
+  history_.clear();
+  regression_.clear();
+  for (const HistoryEntry& e : history) {
+    history_[HistKey{e.codelet, e.worker, e.precision, e.size_key}] =
+        PerfStats{e.samples, e.mean_s, e.m2};
+  }
+  for (const RegressionEntry& e : regression) {
+    regression_[RegKey{e.codelet, e.worker, e.precision}] =
+        Regression{e.sum_xt, e.sum_xx, e.samples};
+  }
+}
+
 void HistoryPerfModel::invalidate_worker(WorkerId worker) {
   for (auto it = history_.begin(); it != history_.end();) {
     it = std::get<1>(it->first) == worker ? history_.erase(it) : std::next(it);

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "hw/kernel_work.hpp"
 #include "rt/types.hpp"
@@ -57,6 +58,33 @@ class HistoryPerfModel {
   void invalidate_worker(WorkerId worker);
 
   [[nodiscard]] std::size_t entry_count() const { return history_.size(); }
+
+  // -- checkpoint support -------------------------------------------------
+  // Both maps flattened to plain tuples, in deterministic (map) order.
+
+  struct HistoryEntry {
+    std::string codelet;
+    WorkerId worker = 0;
+    std::uint8_t precision = 0;
+    std::int64_t size_key = 0;
+    std::uint64_t samples = 0;
+    double mean_s = 0.0;
+    double m2 = 0.0;
+  };
+  struct RegressionEntry {
+    std::string codelet;
+    WorkerId worker = 0;
+    std::uint8_t precision = 0;
+    double sum_xt = 0.0;
+    double sum_xx = 0.0;
+    std::uint64_t samples = 0;
+  };
+
+  [[nodiscard]] std::vector<HistoryEntry> export_history() const;
+  [[nodiscard]] std::vector<RegressionEntry> export_regression() const;
+  /// Replaces the model contents wholesale (checkpoint restore).
+  void import_state(const std::vector<HistoryEntry>& history,
+                    const std::vector<RegressionEntry>& regression);
 
  private:
   // (codelet, worker, precision, size-key) -> stats

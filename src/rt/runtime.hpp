@@ -11,6 +11,7 @@
 #pragma once
 
 #include <any>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -102,6 +103,60 @@ struct TaskDesc {
   /// data dependencies inferred from access modes. Each id must reference
   /// an earlier submission.
   std::vector<TaskId> explicit_deps;
+};
+
+/// Checkpointable dynamic state of one task. Static structure (codelet,
+/// accesses, priority, label, successors) is NOT here: a resume rebuilds it
+/// by re-submitting the same DAG, which is validated against the
+/// checkpoint's structure digest.
+struct TaskSnapshot {
+  std::uint8_t state = 0;
+  std::int32_t unresolved_deps = 0;
+  std::int32_t assigned_worker = -1;
+  double ready_at_s = 0.0;
+  double dispatched_at_s = 0.0;
+  double data_ready_at_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double attributed_power_w = 0.0;
+  std::int64_t decision_index = -1;
+};
+
+/// Checkpointable dynamic state of one worker. The in-flight begin/end
+/// simulator events are checkpointed with the global pending-event set and
+/// re-created via reschedule_begin()/reschedule_end().
+struct WorkerSnapshot {
+  bool busy = false;
+  bool quarantined = false;
+  double busy_until_s = 0.0;
+  double expected_free_s = 0.0;
+  double link_free_s = 0.0;
+  std::int64_t inflight = -1;  ///< TaskId, -1 when idle
+  std::vector<TaskId> queue;
+  std::uint64_t tasks_executed = 0;
+  double busy_seconds = 0.0;
+  double flops_done = 0.0;
+  double transfer_seconds = 0.0;
+  std::uint64_t bytes_transferred = 0;
+};
+
+/// Complete resumable runtime state, captured mid-run.
+struct RuntimeSnapshot {
+  std::vector<TaskSnapshot> tasks;
+  std::vector<WorkerSnapshot> workers;
+  std::vector<std::uint64_t> handle_validity;
+  std::vector<double> link_free_s;
+  std::uint64_t tasks_completed = 0;
+  double flops_completed = 0.0;
+  double last_completion_s = 0.0;
+  bool drained = false;
+  std::array<std::uint64_t, 4> rng_state{};
+  SchedulerSnapshot scheduler;
+  std::vector<HistoryPerfModel::HistoryEntry> perf_history;
+  std::vector<HistoryPerfModel::RegressionEntry> perf_regression;
+  /// FNV-1a over the static DAG structure; a resume whose re-submitted DAG
+  /// hashes differently is rejected instead of silently diverging.
+  std::uint64_t structure_digest = 0;
 };
 
 struct RuntimeStats {
@@ -213,6 +268,40 @@ class Runtime final : public SchedulerContext {
   /// RuntimeOptions::faults dropout events.
   void handle_dropout(int gpu, sim::SimTime now);
 
+  // -- checkpoint / restart --------------------------------------------------
+
+  /// Captures the complete resumable runtime state. Pure read: no clock
+  /// advance, no device-model access, no perturbation of the run.
+  [[nodiscard]] RuntimeSnapshot snapshot() const;
+
+  /// FNV-1a hash of the static DAG structure (codelets, accesses,
+  /// dependency edges, handle sizes) — stable across identical
+  /// re-submissions, different for any structural divergence.
+  [[nodiscard]] std::uint64_t structure_digest() const;
+
+  /// Enters restore mode: subsequent submit() calls rebuild the DAG
+  /// structure but do NOT make dependency-free tasks ready — the true task
+  /// states are overlaid by finish_restore().
+  void begin_restore();
+
+  /// Overlays the checkpointed dynamic state onto the re-submitted DAG and
+  /// leaves restore mode. Throws std::runtime_error if the re-submitted
+  /// structure does not match the checkpoint's digest or shapes. In-flight
+  /// begin/end events are NOT re-created here; the caller replays them in
+  /// original scheduling order via reschedule_begin()/reschedule_end().
+  void finish_restore(const RuntimeSnapshot& snapshot);
+
+  /// Re-creates the in-flight begin event for `worker_id`'s restored task
+  /// at its checkpointed start time.
+  void reschedule_begin(WorkerId worker_id);
+
+  /// Re-creates the in-flight end event for `worker_id`'s restored task at
+  /// its checkpointed end time. `begin_pending` says whether the matching
+  /// begin event was also re-created; when it already fired before the
+  /// checkpoint, begin_event is aliased to end_event so a later dropout's
+  /// unconditional cancel stays an idempotent double-cancel.
+  void reschedule_end(WorkerId worker_id, bool begin_pending);
+
   // -- SchedulerContext ------------------------------------------------------
   [[nodiscard]] std::vector<Worker>& workers() override { return workers_; }
   [[nodiscard]] sim::SimTime now() const override { return sim_.now(); }
@@ -255,6 +344,9 @@ class Runtime final : public SchedulerContext {
   sim::SimTime last_completion_;
   std::vector<std::function<void()>> drain_hooks_;
   bool drained_ = false;
+  /// Restore mode (between begin_restore() and finish_restore()): submit()
+  /// rebuilds structure without making tasks ready.
+  bool restoring_ = false;
 
   // Cached metric handles (null when options_.metrics is null) so the
   // execution path pays one pointer test, not a map lookup.

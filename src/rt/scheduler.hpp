@@ -8,7 +8,9 @@
 // data-locality tie-break (paper section III-B).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +49,16 @@ class SchedulerContext {
   [[nodiscard]] virtual double estimate_energy(const Task& task, const Worker& worker) = 0;
 };
 
+/// Policy-agnostic checkpoint of a scheduler's queue state. Shared-queue
+/// contents are stored as TaskIds in queue order; per-worker queues are
+/// checkpointed with the workers themselves, so counter-mirroring policies
+/// only need their counters here.
+struct SchedulerSnapshot {
+  std::vector<TaskId> central;  ///< shared-queue tasks, front first
+  std::uint64_t pending = 0;    ///< mirrored ready-task count
+  std::uint64_t cursor = 0;     ///< round-robin position (work stealing)
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -76,6 +88,12 @@ class Scheduler {
   /// eligible for the worker once it is marked quarantined.
   [[nodiscard]] virtual std::vector<Task*> evict(Worker& worker);
 
+  /// Checkpoint capture/restore of the policy's queue state. `resolve`
+  /// maps a checkpointed TaskId back to the live task object.
+  [[nodiscard]] virtual SchedulerSnapshot snapshot_state() const { return {}; }
+  virtual void restore_state(const SchedulerSnapshot& /*snapshot*/,
+                             const std::function<Task*(TaskId)>& /*resolve*/) {}
+
  protected:
   SchedulerContext& ctx() { return *ctx_; }
 
@@ -95,6 +113,16 @@ class EagerScheduler final : public Scheduler {
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return !fifo_.empty(); }
   [[nodiscard]] std::size_t pending_count() const override { return fifo_.size(); }
+  [[nodiscard]] SchedulerSnapshot snapshot_state() const override {
+    SchedulerSnapshot s;
+    for (const Task* t : fifo_) s.central.push_back(t->id());
+    return s;
+  }
+  void restore_state(const SchedulerSnapshot& snapshot,
+                     const std::function<Task*(TaskId)>& resolve) override {
+    fifo_.clear();
+    for (const TaskId id : snapshot.central) fifo_.push_back(resolve(id));
+  }
 
  private:
   std::deque<Task*> fifo_;
@@ -109,6 +137,15 @@ class RandomScheduler final : public Scheduler {
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
   [[nodiscard]] std::size_t pending_count() const override { return pending_; }
+  [[nodiscard]] SchedulerSnapshot snapshot_state() const override {
+    SchedulerSnapshot s;
+    s.pending = pending_;
+    return s;
+  }
+  void restore_state(const SchedulerSnapshot& snapshot,
+                     const std::function<Task*(TaskId)>& /*resolve*/) override {
+    pending_ = static_cast<std::size_t>(snapshot.pending);
+  }
 
  protected:
   void note_evicted(std::size_t count) override { pending_ -= count; }
@@ -125,6 +162,17 @@ class WorkStealingScheduler : public Scheduler {
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
   [[nodiscard]] std::size_t pending_count() const override { return pending_; }
+  [[nodiscard]] SchedulerSnapshot snapshot_state() const override {
+    SchedulerSnapshot s;
+    s.pending = pending_;
+    s.cursor = next_;
+    return s;
+  }
+  void restore_state(const SchedulerSnapshot& snapshot,
+                     const std::function<Task*(TaskId)>& /*resolve*/) override {
+    pending_ = static_cast<std::size_t>(snapshot.pending);
+    next_ = static_cast<std::size_t>(snapshot.cursor);
+  }
 
  protected:
   /// lws steals from the victim with the best data locality instead of
@@ -156,6 +204,16 @@ class PrioScheduler final : public Scheduler {
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return !queue_.empty(); }
   [[nodiscard]] std::size_t pending_count() const override { return queue_.size(); }
+  [[nodiscard]] SchedulerSnapshot snapshot_state() const override {
+    SchedulerSnapshot s;
+    for (const Task* t : queue_) s.central.push_back(t->id());
+    return s;
+  }
+  void restore_state(const SchedulerSnapshot& snapshot,
+                     const std::function<Task*(TaskId)>& resolve) override {
+    queue_.clear();
+    for (const TaskId id : snapshot.central) queue_.push_back(resolve(id));
+  }
 
  private:
   std::deque<Task*> queue_;  // kept sorted by priority, descending
@@ -170,6 +228,15 @@ class DmScheduler : public Scheduler {
   Task* pop(Worker& worker) override;
   [[nodiscard]] bool has_pending() const override { return pending_ != 0; }
   [[nodiscard]] std::size_t pending_count() const override { return pending_; }
+  [[nodiscard]] SchedulerSnapshot snapshot_state() const override {
+    SchedulerSnapshot s;
+    s.pending = pending_;
+    return s;
+  }
+  void restore_state(const SchedulerSnapshot& snapshot,
+                     const std::function<Task*(TaskId)>& /*resolve*/) override {
+    pending_ = static_cast<std::size_t>(snapshot.pending);
+  }
 
  protected:
   /// Whether transfer estimates join the completion-time objective (dmda+).

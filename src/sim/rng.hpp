@@ -77,6 +77,12 @@ class Xoshiro256 {
   /// seed into independent streams.
   constexpr void jump();
 
+  /// Full 256-bit generator state, for checkpointing. Restoring the state
+  /// resumes the stream exactly where it left off: the generator keeps no
+  /// hidden state (normal() deliberately caches no spare).
+  [[nodiscard]] constexpr const std::array<std::uint64_t, 4>& state() const { return state_; }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

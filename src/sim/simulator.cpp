@@ -24,6 +24,11 @@ bool Simulator::step() {
   auto [when, cb] = queue_.pop();
   now_ = when;
   ++executed_;
+  struct DepthGuard {
+    int& depth;
+    explicit DepthGuard(int& d) : depth{d} { ++depth; }
+    ~DepthGuard() { --depth; }
+  } guard{executing_};
   cb();
   return true;
 }

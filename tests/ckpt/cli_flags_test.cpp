@@ -1,0 +1,185 @@
+// FlagParser hardening: exact-match flags, strict numeric validation,
+// unknown-flag rejection with a nearest-flag suggestion — exercised over a
+// full flag table like the one the bench harness and greencap CLI register.
+#include "core/cli_flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using greencap::core::FlagParser;
+using greencap::core::edit_distance;
+
+namespace {
+
+/// Mirrors the real drivers' registration: every value shape in use.
+struct Table {
+  bool csv = false;
+  bool quick = false;
+  bool degrade = false;
+  std::string summary_json;
+  std::string faults;
+  std::string checkpoint;
+  std::string resume;
+  double telemetry_period_ms = 0.0;
+  double checkpoint_every_ms = 0.0;
+  double watchdog_ms = 0.0;
+  std::uint64_t fault_seed = 0;
+  std::int64_t n = 0;
+  int cap_retries = 3;
+  int kill_after = 0;
+
+  FlagParser parser;
+
+  Table() {
+    parser.flag("--csv", &csv);
+    parser.flag("--quick", &quick);
+    parser.flag("--degrade", &degrade);
+    parser.str("--summary-json", &summary_json);
+    parser.str("--faults", &faults);
+    parser.str("--checkpoint", &checkpoint);
+    parser.str("--resume", &resume);
+    parser.f64("--telemetry-period-ms", &telemetry_period_ms);
+    parser.f64("--checkpoint-every-ms", &checkpoint_every_ms);
+    parser.f64("--watchdog-ms", &watchdog_ms);
+    parser.u64("--fault-seed", &fault_seed);
+    parser.i64("--n", &n);
+    parser.i32("--cap-retries", &cap_retries);
+    parser.i32("--ckpt-kill-after", &kill_after);
+  }
+
+  std::string parse(std::vector<std::string> args) {
+    std::vector<char*> argv;
+    std::string argv0 = "prog";
+    argv.push_back(argv0.data());
+    for (std::string& a : args) argv.push_back(a.data());
+    return parser.parse(static_cast<int>(argv.size()), argv.data());
+  }
+};
+
+TEST(CliFlags, SpaceAndEqualsFormsBothParse) {
+  Table t;
+  ASSERT_EQ(t.parse({"--summary-json", "out.json", "--n=4096", "--csv",
+                     "--telemetry-period-ms=2.5", "--fault-seed", "99",
+                     "--checkpoint=ck.gckp", "--checkpoint-every-ms", "40",
+                     "--ckpt-kill-after=3"}),
+            "");
+  EXPECT_EQ(t.summary_json, "out.json");
+  EXPECT_EQ(t.n, 4096);
+  EXPECT_TRUE(t.csv);
+  EXPECT_EQ(t.telemetry_period_ms, 2.5);
+  EXPECT_EQ(t.fault_seed, 99u);
+  EXPECT_EQ(t.checkpoint, "ck.gckp");
+  EXPECT_EQ(t.checkpoint_every_ms, 40.0);
+  EXPECT_EQ(t.kill_after, 3);
+}
+
+TEST(CliFlags, UnknownFlagIsRejectedWithSuggestion) {
+  Table t;
+  const std::string err = t.parse({"--sumary-json", "out.json"});
+  EXPECT_NE(err.find("--sumary-json"), std::string::npos) << err;
+  EXPECT_NE(err.find("--summary-json"), std::string::npos) << err;
+}
+
+TEST(CliFlags, PrefixOfARealFlagDoesNotMatch) {
+  // The pre-hardening parsers matched by prefix; "--quic" must now fail.
+  Table t;
+  const std::string err = t.parse({"--quic"});
+  EXPECT_FALSE(err.empty());
+  EXPECT_NE(err.find("--quic"), std::string::npos) << err;
+  EXPECT_FALSE(t.quick);
+}
+
+TEST(CliFlags, ExtendedFlagNameDoesNotMatch) {
+  Table t;
+  EXPECT_FALSE(t.parse({"--summary-jsonX", "f"}).empty());
+  EXPECT_TRUE(t.summary_json.empty());
+}
+
+TEST(CliFlags, MalformedNumbersAreRejectedNotTruncated) {
+  // atof-era parsers read "40abc" as 40; every token must parse in full.
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"--n", "abc"},
+           {"--n", "40abc"},
+           {"--n", ""},
+           {"--telemetry-period-ms", "1.5x"},
+           {"--telemetry-period-ms", "--csv"},
+           {"--fault-seed", "-3"},
+           {"--cap-retries", "2.5"},
+           {"--ckpt-kill-after", "0x3"},
+       }) {
+    Table t;
+    const std::string err = t.parse(args);
+    EXPECT_FALSE(err.empty()) << "accepted: --flag '" << args[1] << "'";
+    EXPECT_NE(err.find(args[0]), std::string::npos) << err;
+  }
+}
+
+TEST(CliFlags, MissingValueNamesTheFlag) {
+  Table t;
+  const std::string err = t.parse({"--summary-json"});
+  EXPECT_NE(err.find("--summary-json"), std::string::npos) << err;
+  EXPECT_NE(err.find("requires"), std::string::npos) << err;
+}
+
+TEST(CliFlags, BooleanFlagRejectsInlineValue) {
+  Table t;
+  const std::string err = t.parse({"--csv=yes"});
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(t.csv);
+}
+
+TEST(CliFlags, CustomValidatorErrorsNameTheFlag) {
+  FlagParser parser;
+  parser.value("--op", "NAME", [](const std::string& v) -> std::string {
+    if (v == "gemm") return {};
+    return "expects gemm, got '" + v + "'";
+  });
+  std::string a0 = "prog", a1 = "--op", a2 = "fft";
+  char* argv[] = {a0.data(), a1.data(), a2.data()};
+  const std::string err = parser.parse(3, argv);
+  EXPECT_NE(err.find("--op"), std::string::npos) << err;
+  EXPECT_NE(err.find("fft"), std::string::npos) << err;
+}
+
+TEST(CliFlags, EveryRegisteredFlagParsesItsOwnName) {
+  // Table-driven sanity: each registered flag accepts a well-formed value
+  // and rejects a one-character misspelling of its name.
+  Table probe;
+  for (const std::string& name : probe.parser.names()) {
+    Table t;
+    const bool takes_value = name != "--csv" && name != "--quick" && name != "--degrade";
+    std::string good_value = "1";
+    if (name == "--summary-json" || name == "--faults" || name == "--checkpoint" ||
+        name == "--resume") {
+      good_value = "some-value";
+    }
+    if (takes_value) {
+      EXPECT_EQ(t.parse({name, good_value}), "") << name;
+    } else {
+      EXPECT_EQ(t.parse({name}), "") << name;
+    }
+    std::string typo = name;
+    typo.back() = typo.back() == 'z' ? 'y' : 'z';
+    const std::string err = t.parse(takes_value ? std::vector<std::string>{typo, good_value}
+                                                : std::vector<std::string>{typo});
+    EXPECT_FALSE(err.empty()) << "typo accepted: " << typo;
+  }
+}
+
+TEST(CliFlags, SuggestFindsNearestAndIgnoresFarTokens) {
+  Table t;
+  EXPECT_EQ(t.parser.suggest("--chekpoint"), "--checkpoint");
+  EXPECT_EQ(t.parser.suggest("--watchdogms"), "--watchdog-ms");
+  EXPECT_EQ(t.parser.suggest("--zzzzzzzzzzzzzzz"), "");
+}
+
+TEST(CliFlags, EditDistanceBasics) {
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+}  // namespace

@@ -20,9 +20,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "ckpt/signal.hpp"
+#include "core/checkpoint.hpp"
+#include "core/cli_flags.hpp"
 #include "core/experiment.hpp"
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
@@ -67,7 +71,14 @@ namespace {
       "  --reconcile-ms N         verify/re-assert cap drift every N virtual ms\n"
       "  --degrade                fall back to H on cap failure instead of aborting\n"
       "  --cap-retries N          retry budget per cap write (default 3)\n"
-      "  --degradation-json FILE  degradation report export\n",
+      "  --degradation-json FILE  degradation report export\n"
+      "checkpoint/restart (docs/CHECKPOINTING.md):\n"
+      "  --checkpoint FILE        write crash-consistent checkpoints to FILE\n"
+      "  --checkpoint-every-ms N  also checkpoint mid-run every N virtual ms\n"
+      "  --watchdog-ms N          abort-with-checkpoint if no task completes\n"
+      "                           for N virtual ms\n"
+      "  --resume FILE            resume a killed/interrupted run from FILE\n"
+      "  --ckpt-kill-after N      test hook: _Exit(137) after the Nth write\n",
       argv0);
   std::exit(code);
 }
@@ -99,110 +110,84 @@ int main(int argc, char** argv) {
   core::ExperimentConfig cfg;
   cfg.platform = "32-AMD-4-A100";
   bool baseline = false;
-  std::optional<std::int64_t> n_override;
-  std::optional<int> nb_override;
+  std::int64_t n_value = 0;   // 0 = use the paper's Table II default
+  int nb_value = 0;           // 0 = use the paper's Table II default
   std::string config_text;
   std::string trace_json, metrics_json, telemetry_json, telemetry_csv, decisions_json;
   std::string profile_json, profile_html;
   std::string degradation_json;
   bool model_report = false;
+  core::CheckpointOptions ckpt_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0], 2);
-      return argv[++i];
-    };
-    // Observability flags accept both "--flag VALUE" and "--flag=VALUE".
-    auto match_value = [&](const char* name, std::string* out) -> bool {
-      const std::size_t len = std::strlen(name);
-      if (arg == name) {
-        *out = next();
-        return true;
-      }
-      if (arg.size() > len + 1 && arg.compare(0, len, name) == 0 && arg[len] == '=') {
-        *out = arg.substr(len + 1);
-        return true;
-      }
-      return false;
-    };
-    std::string value;
-    if (match_value("--trace-json", &trace_json) ||
-        match_value("--metrics-json", &metrics_json) ||
-        match_value("--telemetry-json", &telemetry_json) ||
-        match_value("--telemetry-csv", &telemetry_csv) ||
-        match_value("--decisions-json", &decisions_json) ||
-        match_value("--profile-json", &profile_json) ||
-        match_value("--profile-html", &profile_html) ||
-        match_value("--faults", &cfg.resilience.faults) ||
-        match_value("--degradation-json", &degradation_json)) {
-      continue;
+    if (arg == "--help" || arg == "-h") usage(argv[0], 0);
+  }
+
+  core::FlagParser parser;
+  parser.str("--platform", &cfg.platform);
+  parser.value("--op", "NAME", [&cfg](const std::string& op) -> std::string {
+    if (op == "gemm") cfg.op = core::Operation::kGemm;
+    else if (op == "potrf") cfg.op = core::Operation::kPotrf;
+    else if (op == "getrf") cfg.op = core::Operation::kGetrf;
+    else if (op == "geqrf") cfg.op = core::Operation::kGeqrf;
+    else if (op == "gelqf") cfg.op = core::Operation::kGelqf;
+    else return "expects gemm|potrf|getrf|geqrf|gelqf, got '" + op + "'";
+    return {};
+  });
+  parser.value("--precision", "P", [&cfg](const std::string& p) -> std::string {
+    if (p == "single") cfg.precision = hw::Precision::kSingle;
+    else if (p == "double") cfg.precision = hw::Precision::kDouble;
+    else return "expects single|double, got '" + p + "'";
+    return {};
+  });
+  parser.i64("--n", &n_value);
+  parser.i32("--nb", &nb_value);
+  parser.str("--config", &config_text);
+  parser.value("--cpu-cap", "PKG:FRAC", [&cfg](const std::string& spec) -> std::string {
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+      return "expects PKG:FRAC, got '" + spec + "'";
     }
-    if (match_value("--telemetry-period-ms", &value)) {
-      cfg.obs.telemetry_period_ms = std::atof(value.c_str());
-      continue;
+    char* end = nullptr;
+    const long pkg = std::strtol(spec.c_str(), &end, 10);
+    if (end != spec.c_str() + colon || pkg < 0) {
+      return "package index must be a non-negative integer, got '" + spec + "'";
     }
-    if (match_value("--fault-seed", &value)) {
-      cfg.resilience.fault_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
-      continue;
+    const double frac = std::strtod(spec.c_str() + colon + 1, &end);
+    if (*end != '\0' || !(frac > 0.0) || frac > 1.0) {
+      return "TDP fraction must be in (0, 1], got '" + spec + "'";
     }
-    if (match_value("--reconcile-ms", &value)) {
-      cfg.resilience.reconcile_ms = std::atof(value.c_str());
-      continue;
-    }
-    if (match_value("--cap-retries", &value)) {
-      cfg.resilience.max_cap_retries = std::atoi(value.c_str());
-      continue;
-    }
-    if (arg == "--degrade") {
-      cfg.resilience.degrade = true;
-      continue;
-    }
-    if (arg == "--model-report") {
-      model_report = true;
-      continue;
-    }
-    if (arg == "--platform") {
-      cfg.platform = next();
-    } else if (arg == "--op") {
-      const std::string op = next();
-      if (op == "gemm") cfg.op = core::Operation::kGemm;
-      else if (op == "potrf") cfg.op = core::Operation::kPotrf;
-      else if (op == "getrf") cfg.op = core::Operation::kGetrf;
-      else if (op == "geqrf") cfg.op = core::Operation::kGeqrf;
-      else if (op == "gelqf") cfg.op = core::Operation::kGelqf;
-      else usage(argv[0], 2);
-    } else if (arg == "--precision") {
-      const std::string p = next();
-      if (p == "single") cfg.precision = hw::Precision::kSingle;
-      else if (p == "double") cfg.precision = hw::Precision::kDouble;
-      else usage(argv[0], 2);
-    } else if (arg == "--n") {
-      n_override = std::atoll(next());
-    } else if (arg == "--nb") {
-      nb_override = std::atoi(next());
-    } else if (arg == "--config") {
-      config_text = next();
-    } else if (arg == "--cpu-cap") {
-      const std::string spec = next();
-      const auto colon = spec.find(':');
-      if (colon == std::string::npos) usage(argv[0], 2);
-      cfg.cpu_cap = core::CpuCap{static_cast<std::size_t>(std::atoi(spec.c_str())),
-                                 std::atof(spec.c_str() + colon + 1)};
-    } else if (arg == "--scheduler") {
-      cfg.scheduler = next();
-    } else if (arg == "--baseline") {
-      baseline = true;
-    } else if (arg == "--stale-models") {
-      cfg.stale_models = true;
-    } else if (arg == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0], 0);
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      usage(argv[0], 2);
-    }
+    cfg.cpu_cap = core::CpuCap{static_cast<std::size_t>(pkg), frac};
+    return {};
+  });
+  parser.str("--scheduler", &cfg.scheduler);
+  parser.flag("--baseline", &baseline);
+  parser.flag("--stale-models", &cfg.stale_models);
+  parser.u64("--seed", &cfg.seed);
+  parser.str("--trace-json", &trace_json);
+  parser.str("--metrics-json", &metrics_json);
+  parser.f64("--telemetry-period-ms", &cfg.obs.telemetry_period_ms);
+  parser.str("--telemetry-json", &telemetry_json);
+  parser.str("--telemetry-csv", &telemetry_csv);
+  parser.str("--decisions-json", &decisions_json);
+  parser.flag("--model-report", &model_report);
+  parser.str("--profile-json", &profile_json);
+  parser.str("--profile-html", &profile_html);
+  parser.str("--faults", &cfg.resilience.faults);
+  parser.u64("--fault-seed", &cfg.resilience.fault_seed);
+  parser.f64("--reconcile-ms", &cfg.resilience.reconcile_ms);
+  parser.flag("--degrade", &cfg.resilience.degrade);
+  parser.i32("--cap-retries", &cfg.resilience.max_cap_retries);
+  parser.str("--degradation-json", &degradation_json);
+  parser.str("--checkpoint", &ckpt_opts.path);
+  parser.f64("--checkpoint-every-ms", &ckpt_opts.every_ms);
+  parser.f64("--watchdog-ms", &ckpt_opts.watchdog_ms);
+  parser.str("--resume", &ckpt_opts.resume_path);
+  parser.i32("--ckpt-kill-after", &ckpt_opts.kill_after);
+  if (const std::string err = parser.parse(argc, argv); !err.empty()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+    return 2;
   }
 
   // Default N/Nt from the paper's Table II for the chosen platform/op;
@@ -210,16 +195,16 @@ int main(int argc, char** argv) {
   // the extension-study geometry (40x40 tiles of 2880).
   try {
     const auto row = core::paper::table_ii_row(cfg.platform, cfg.op, cfg.precision);
-    cfg.n = n_override.value_or(row.n);
-    cfg.nb = nb_override.value_or(row.nb);
+    cfg.n = n_value > 0 ? n_value : row.n;
+    cfg.nb = nb_value > 0 ? nb_value : row.nb;
   } catch (const std::exception&) {
     if (cfg.op == core::Operation::kGetrf || cfg.op == core::Operation::kGeqrf ||
         cfg.op == core::Operation::kGelqf) {
-      cfg.nb = nb_override.value_or(2880);
-      cfg.n = n_override.value_or(static_cast<std::int64_t>(cfg.nb) * 40);
-    } else if (n_override && nb_override) {
-      cfg.n = *n_override;
-      cfg.nb = *nb_override;
+      cfg.nb = nb_value > 0 ? nb_value : 2880;
+      cfg.n = n_value > 0 ? n_value : static_cast<std::int64_t>(cfg.nb) * 40;
+    } else if (n_value > 0 && nb_value > 0) {
+      cfg.n = n_value;
+      cfg.nb = nb_value;
     } else {
       std::fprintf(stderr, "no Table II defaults for this platform; pass --n and --nb\n");
       return 2;
@@ -243,7 +228,30 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const core::ExperimentResult result = core::run_experiment(cfg);
+    // Checkpoint/restart session: replay completed experiments from the
+    // resume file, execute the rest (possibly from mid-run state), and
+    // commit each fresh result AFTER its artifacts are exported so a
+    // resume never re-exports them.
+    std::shared_ptr<core::CheckpointSession> session;
+    if (!ckpt_opts.path.empty() || !ckpt_opts.resume_path.empty() ||
+        ckpt_opts.every_ms > 0.0 || ckpt_opts.watchdog_ms > 0.0) {
+      greencap::ckpt::install_signal_handlers();
+      session = std::make_shared<core::CheckpointSession>(ckpt_opts);
+    }
+    bool fresh = true;
+    auto run_one = [&session, &fresh](const core::ExperimentConfig& c) {
+      fresh = true;
+      if (session != nullptr) {
+        if (auto replayed = session->try_replay(c)) {
+          fresh = false;
+          return std::move(*replayed);
+        }
+      }
+      return session != nullptr ? core::run_experiment(c, session.get())
+                                : core::run_experiment(c);
+    };
+
+    const core::ExperimentResult result = run_one(cfg);
     print_result("experiment", result);
     if (cfg.resilience.any()) {
       const auto& fc = result.fault_counts;
@@ -307,17 +315,29 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (session != nullptr && fresh) {
+      session->commit(cfg, result);
+    }
     if (baseline && !cfg.gpu_config.is_default()) {
       core::ExperimentConfig base_cfg = cfg;
       base_cfg.gpu_config = power::GpuConfig::uniform(gpus, power::Level::kHigh);
       base_cfg.cpu_cap.reset();
-      const core::ExperimentResult base = core::run_experiment(base_cfg);
+      const core::ExperimentResult base = run_one(base_cfg);
+      if (session != nullptr && fresh) {
+        session->commit(base_cfg, base);
+      }
       print_result("baseline", base);
       std::printf("deltas vs baseline: perf %+.2f %%, energy saving %+.2f %%, "
                   "efficiency %+.2f %%\n",
                   result.perf_delta_pct(base), result.energy_saving_pct(base),
                   result.efficiency_gain_pct(base));
     }
+    if (session != nullptr) {
+      session->check_interrupt();
+    }
+  } catch (const ckpt::InterruptedError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return ckpt::kInterruptExitCode;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
