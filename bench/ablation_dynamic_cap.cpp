@@ -83,10 +83,15 @@ int run(int argc, char** argv) {
   const int nt = cli.quick ? 8 : 13;
 
   core::Table table{{"mode", "Gflop/s", "Gflop/s/W", "final cap W"}};
-  const Outcome def = run_stream(Mode::kDefault, nt);
-  const Outcome stat = run_stream(Mode::kStaticBest, nt);
-  const Outcome dyn = run_stream(Mode::kDynamic, nt);
-  const Outcome dyn_per_gpu = run_stream(Mode::kDynamicPerGpu, nt);
+  // Each stream owns its platform/simulator/runtime, so the four modes fan
+  // out cleanly across the engine's worker pool.
+  const Mode modes[] = {Mode::kDefault, Mode::kStaticBest, Mode::kDynamic, Mode::kDynamicPerGpu};
+  std::vector<Outcome> outcomes(4);
+  cli.engine().for_each_index(4, [&](std::size_t i) { outcomes[i] = run_stream(modes[i], nt); });
+  const Outcome& def = outcomes[0];
+  const Outcome& stat = outcomes[1];
+  const Outcome& dyn = outcomes[2];
+  const Outcome& dyn_per_gpu = outcomes[3];
   table.add_row({"default (no capping)", core::fmt(def.gflops, 0),
                  core::fmt(def.efficiency, 2), core::fmt(def.final_cap_w, 0)});
   table.add_row({"static P_best (offline sweep)", core::fmt(stat.gflops, 0),

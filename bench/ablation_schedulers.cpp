@@ -17,21 +17,29 @@ int run(int argc, char** argv) {
   const auto row =
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
 
+  bench::Campaign campaign{cli};
   for (const char* config : {"HHHH", "HHBB", "BBBB"}) {
-    core::Table table{{"scheduler", "Gflop/s", "energy J", "Gflop/s/W", "time s", "cpu tasks"}};
+    auto table = std::make_shared<core::Table>(std::vector<std::string>{
+        "scheduler", "Gflop/s", "energy J", "Gflop/s/W", "time s", "cpu tasks"});
     for (const char* scheduler :
          {"eager", "prio", "random", "ws", "lws", "dm", "dmda", "dmdas", "dmdae"}) {
       core::ExperimentConfig cfg = bench::experiment_for(row, config);
       cfg.scheduler = scheduler;
-      const core::ExperimentResult r = cli.run_experiment(cfg);
-      table.add_row({scheduler, core::fmt(r.gflops, 0), core::fmt(r.total_energy_j, 0),
-                     core::fmt(r.efficiency_gflops_per_w, 2), core::fmt(r.time_s, 2),
-                     std::to_string(r.cpu_tasks)});
+      campaign.add(std::move(cfg),
+                   [table, scheduler](const core::ExperimentResult& r) {
+                     table->add_row({scheduler, core::fmt(r.gflops, 0),
+                                     core::fmt(r.total_energy_j, 0),
+                                     core::fmt(r.efficiency_gflops_per_w, 2),
+                                     core::fmt(r.time_s, 2), std::to_string(r.cpu_tasks)});
+                   });
     }
-    bench::emit(table, cli,
-                std::string("Ablation — schedulers under configuration ") + config +
-                    " (32-AMD-4-A100, GEMM double)");
+    campaign.then([table, &cli, config] {
+      bench::emit(*table, cli,
+                  std::string("Ablation — schedulers under configuration ") + config +
+                      " (32-AMD-4-A100, GEMM double)");
+    });
   }
+  campaign.run();
   std::cout << "\nReading: the dm family needs calibrated models to exploit unbalanced caps; "
                "eager/random degrade once the GPUs become heterogeneous. dmdae trades a "
                "little makespan for extra Gflop/s/W via energy-aware placement.\n";

@@ -17,21 +17,28 @@ int run(int argc, char** argv) {
   const auto row =
       core::paper::table_ii_row("32-AMD-4-A100", core::Operation::kGemm, hw::Precision::kDouble);
 
-  core::Table table{{"config", "models", "Gflop/s", "Gflop/s/W", "time s",
-                     "perf cost of staleness %"}};
+  auto table = std::make_shared<core::Table>(std::vector<std::string>{
+      "config", "models", "Gflop/s", "Gflop/s/W", "time s", "perf cost of staleness %"});
+  bench::Campaign campaign{cli};
   for (const char* config : {"HHBB", "HHLL", "HLLL", "BBBB"}) {
     core::ExperimentConfig cfg = bench::experiment_for(row, config);
-    const core::ExperimentResult fresh = cli.run_experiment(cfg);
-    cfg.stale_models = true;
-    const core::ExperimentResult stale = cli.run_experiment(cfg);
-    table.add_row({config, "recalibrated", core::fmt(fresh.gflops, 0),
-                   core::fmt(fresh.efficiency_gflops_per_w, 2), core::fmt(fresh.time_s, 2),
-                   ""});
-    table.add_row({config, "stale", core::fmt(stale.gflops, 0),
-                   core::fmt(stale.efficiency_gflops_per_w, 2), core::fmt(stale.time_s, 2),
-                   core::fmt_pct(stale.perf_delta_pct(fresh))});
+    core::ExperimentConfig stale_cfg = cfg;
+    stale_cfg.stale_models = true;
+    auto fresh = std::make_shared<core::ExperimentResult>();
+    campaign.add(std::move(cfg), [fresh](const core::ExperimentResult& r) { *fresh = r; });
+    campaign.add(std::move(stale_cfg),
+                 [table, fresh, config](const core::ExperimentResult& stale) {
+                   table->add_row({config, "recalibrated", core::fmt(fresh->gflops, 0),
+                                   core::fmt(fresh->efficiency_gflops_per_w, 2),
+                                   core::fmt(fresh->time_s, 2), ""});
+                   table->add_row({config, "stale", core::fmt(stale.gflops, 0),
+                                   core::fmt(stale.efficiency_gflops_per_w, 2),
+                                   core::fmt(stale.time_s, 2),
+                                   core::fmt_pct(stale.perf_delta_pct(*fresh))});
+                 });
   }
-  bench::emit(table, cli, "Ablation — recalibrated vs stale performance models");
+  campaign.run();
+  bench::emit(*table, cli, "Ablation — recalibrated vs stale performance models");
   std::cout << "\nReading: with stale models the dmdas scheduler splits work as if all GPUs "
                "were equal, so unbalanced configurations lose their advantage — quantifying "
                "why the paper recalibrates after every power-cap modification.\n";

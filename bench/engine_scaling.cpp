@@ -1,0 +1,148 @@
+// Throughput scaling of the campaign engine across --jobs values.
+//
+// Runs the same fixed campaign (the fig. 3 flagship ladder, GEMM + POTRF)
+// through a fresh CampaignEngine at each job count, wall-clocks it, and
+// emits BENCH_engine.json with runs/s and speedup vs serial. Each engine
+// starts with a cold warmup cache so every measurement pays the same
+// per-campaign setup; results are cross-checked against the serial run
+// while we are at it, because a scaling win that changes the numbers is
+// not a win.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli_flags.hpp"
+#include "core/engine.hpp"
+#include "core/paper_params.hpp"
+#include "core/report.hpp"
+#include "obs/artifact.hpp"
+#include "obs/json.hpp"
+
+using namespace greencap;
+
+namespace {
+
+std::vector<core::ExperimentConfig> campaign(bool quick) {
+  std::vector<core::ExperimentConfig> configs;
+  for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
+    const auto row =
+        core::paper::table_ii_row("32-AMD-4-A100", op, hw::Precision::kDouble);
+    for (const auto& gpu_cfg : power::standard_ladder(4)) {
+      core::ExperimentConfig cfg;
+      cfg.platform = row.platform;
+      cfg.op = op;
+      cfg.precision = row.precision;
+      cfg.nb = row.nb;
+      cfg.n = static_cast<std::int64_t>(row.nb) * (quick ? 6 : 13);
+      cfg.gpu_config = gpu_cfg;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  return configs;
+}
+
+struct Sample {
+  int jobs = 0;
+  double wall_s = 0.0;
+  double runs_per_s = 0.0;
+  double speedup = 1.0;
+};
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int run(int argc, char** argv) {
+  std::string out = "BENCH_engine.json";
+  bool quick = false;
+  core::FlagParser parser;
+  parser.str("--out", &out);
+  parser.flag("--quick", &quick);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::cout << "usage: " << argv[0] << " [--quick] [--out FILE]\n"
+                << "  --quick     smaller matrices (CI smoke mode)\n"
+                << "  --out FILE  JSON output path (default BENCH_engine.json)\n";
+      return 0;
+    }
+  }
+  if (const std::string err = parser.parse(argc, argv); !err.empty()) {
+    std::cerr << argv[0] << ": " << err << "\n";
+    return 2;
+  }
+
+  const std::vector<core::ExperimentConfig> configs = campaign(quick);
+  const int cores = core::resolve_jobs(0);
+  std::vector<int> job_counts = {1, 2, 4};
+  if (cores >= 8) {
+    job_counts.push_back(8);
+  }
+
+  std::vector<core::ExperimentResult> reference;
+  std::vector<Sample> samples;
+  core::Table table{{"jobs", "wall s", "runs/s", "speedup"}};
+  for (const int jobs : job_counts) {
+    core::EngineOptions opts;
+    opts.jobs = jobs;
+    core::CampaignEngine engine{opts};
+    std::vector<core::ExperimentResult> results;
+    Sample s;
+    s.jobs = jobs;
+    s.wall_s = wall_seconds([&] { results = engine.run(configs); });
+    s.runs_per_s = static_cast<double>(configs.size()) / s.wall_s;
+    s.speedup = samples.empty() ? 1.0 : samples.front().wall_s / s.wall_s;
+    if (reference.empty()) {
+      reference = std::move(results);
+    } else {
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (results[i].time_s != reference[i].time_s ||
+            results[i].total_energy_j != reference[i].total_energy_j) {
+          std::cerr << "error: --jobs " << jobs << " changed run " << i
+                    << "'s results; the engine is broken\n";
+          return 1;
+        }
+      }
+    }
+    table.add_row({std::to_string(s.jobs), core::fmt(s.wall_s, 3),
+                   core::fmt(s.runs_per_s, 1), core::fmt(s.speedup, 2)});
+    samples.push_back(s);
+  }
+
+  core::print_banner(std::cout, "Campaign engine scaling (" +
+                                    std::to_string(configs.size()) + " runs, " +
+                                    std::to_string(cores) + " cores)");
+  table.print(std::cout);
+
+  const bool ok = obs::write_artifact(out, "bench", [&](std::ostream& os) {
+    os << "{\"schema_version\":1,\"bench\":\"engine_scaling\""
+       << ",\"campaign_runs\":" << configs.size() << ",\"cores\":" << cores
+       << ",\"quick\":" << (quick ? "true" : "false") << ",\"samples\":[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      os << (i ? "," : "") << "{\"jobs\":" << s.jobs << ",\"wall_s\":" << s.wall_s
+         << ",\"runs_per_s\":" << s.runs_per_s << ",\"speedup\":" << s.speedup << "}";
+    }
+    os << "]}\n";
+  });
+  if (!ok) {
+    return 1;
+  }
+  std::cerr << "wrote bench: " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}

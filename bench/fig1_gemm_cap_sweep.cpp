@@ -24,11 +24,10 @@ void sweep_table(const bench::Cli& cli, hw::Precision precision) {
   }
   core::Table table{headers};
 
-  std::vector<power::SweepResult> sweeps;
-  sweeps.reserve(sizes.size());
-  for (int n : sizes) {
-    sweeps.push_back(power::sweep_gemm_caps(arch, precision, n, step));
-  }
+  std::vector<power::SweepResult> sweeps(sizes.size());
+  cli.engine().for_each_index(sizes.size(), [&](std::size_t i) {
+    sweeps[i] = power::sweep_gemm_caps(arch, precision, sizes[i], step);
+  });
   for (std::size_t p = 0; p < sweeps[0].points.size(); ++p) {
     std::vector<std::string> row = {core::fmt(sweeps[0].points[p].cap_w, 0),
                                     core::fmt(sweeps[0].points[p].cap_pct_tdp, 0)};

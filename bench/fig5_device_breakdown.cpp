@@ -11,29 +11,36 @@ namespace {
 int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
+  bench::Campaign campaign{cli};
   for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
     const auto row =
         core::paper::table_ii_row("24-Intel-2-V100", op, hw::Precision::kDouble);
-    core::Table table{{"config", "total J", "CPU0 J", "CPU1 J", "GPU0 J", "GPU1 J", "CPU0 %",
-                       "CPU1 %", "GPU0 %", "GPU1 %", "cpu tasks", "gpu tasks"}};
+    auto table = std::make_shared<core::Table>(std::vector<std::string>{
+        "config", "total J", "CPU0 J", "CPU1 J", "GPU0 J", "GPU1 J", "CPU0 %", "CPU1 %",
+        "GPU0 %", "GPU1 %", "cpu tasks", "gpu tasks"});
     for (const auto& cfg : power::standard_ladder(2)) {
-      const core::ExperimentResult r =
-          cli.run_experiment(bench::experiment_for(row, cfg.to_string()));
-      const double total = r.total_energy_j;
-      table.add_row(
-          {cfg.to_string(), core::fmt(total, 0), core::fmt(r.energy.cpu_joules[0], 0),
-           core::fmt(r.energy.cpu_joules[1], 0), core::fmt(r.energy.gpu_joules[0], 0),
-           core::fmt(r.energy.gpu_joules[1], 0),
-           core::fmt(r.energy.cpu_joules[0] / total * 100, 1),
-           core::fmt(r.energy.cpu_joules[1] / total * 100, 1),
-           core::fmt(r.energy.gpu_joules[0] / total * 100, 1),
-           core::fmt(r.energy.gpu_joules[1] / total * 100, 1), std::to_string(r.cpu_tasks),
-           std::to_string(r.gpu_tasks)});
+      campaign.add(bench::experiment_for(row, cfg.to_string()),
+                   [table, name = cfg.to_string()](const core::ExperimentResult& r) {
+                     const double total = r.total_energy_j;
+                     table->add_row(
+                         {name, core::fmt(total, 0), core::fmt(r.energy.cpu_joules[0], 0),
+                          core::fmt(r.energy.cpu_joules[1], 0),
+                          core::fmt(r.energy.gpu_joules[0], 0),
+                          core::fmt(r.energy.gpu_joules[1], 0),
+                          core::fmt(r.energy.cpu_joules[0] / total * 100, 1),
+                          core::fmt(r.energy.cpu_joules[1] / total * 100, 1),
+                          core::fmt(r.energy.gpu_joules[0] / total * 100, 1),
+                          core::fmt(r.energy.gpu_joules[1] / total * 100, 1),
+                          std::to_string(r.cpu_tasks), std::to_string(r.gpu_tasks)});
+                   });
     }
-    bench::emit(table, cli,
-                std::string("Fig. 5 — device energy breakdown, 24-Intel-2-V100, ") +
-                    core::to_string(op) + " (double)");
+    campaign.then([table, &cli, op] {
+      bench::emit(*table, cli,
+                  std::string("Fig. 5 — device energy breakdown, 24-Intel-2-V100, ") +
+                      core::to_string(op) + " (double)");
+    });
   }
+  campaign.run();
   std::cout << "\nPaper observation: CPU share grows when GPUs are capped (more tasks shift to "
                "the much less energy-efficient CPUs), which is why LL raises total energy.\n";
   cli.write_summary(argv[0]);

@@ -11,27 +11,39 @@ namespace {
 int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
+  bench::Campaign campaign{cli};
   for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
     for (const hw::Precision precision : {hw::Precision::kDouble, hw::Precision::kSingle}) {
       const auto row = core::paper::table_ii_row("24-Intel-2-V100", op, precision);
-      core::Table table{{"config", "eff no-cpu-cap", "eff cpu-capped", "improvement %",
-                         "perf delta %"}};
+      auto table = std::make_shared<core::Table>(std::vector<std::string>{
+          "config", "eff no-cpu-cap", "eff cpu-capped", "improvement %", "perf delta %"});
       for (const auto& cfg : power::standard_ladder(2)) {
         core::ExperimentConfig plain = bench::experiment_for(row, cfg.to_string());
-        const core::ExperimentResult uncapped = cli.run_experiment(plain);
-        plain.cpu_cap =
+        core::ExperimentConfig capped_cfg = plain;
+        capped_cfg.cpu_cap =
             core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
-        const core::ExperimentResult capped = cli.run_experiment(plain);
-        table.add_row({cfg.to_string(), core::fmt(uncapped.efficiency_gflops_per_w, 2),
-                       core::fmt(capped.efficiency_gflops_per_w, 2),
-                       core::fmt_pct(capped.efficiency_gain_pct(uncapped)),
-                       core::fmt_pct(capped.perf_delta_pct(uncapped))});
+        // The uncapped result lands first (continuations run in add
+        // order), so the capped row can compute its deltas against it.
+        auto uncapped = std::make_shared<core::ExperimentResult>();
+        campaign.add(std::move(plain),
+                     [uncapped](const core::ExperimentResult& r) { *uncapped = r; });
+        campaign.add(std::move(capped_cfg),
+                     [table, uncapped, name = cfg.to_string()](
+                         const core::ExperimentResult& capped) {
+                       table->add_row({name, core::fmt(uncapped->efficiency_gflops_per_w, 2),
+                                       core::fmt(capped.efficiency_gflops_per_w, 2),
+                                       core::fmt_pct(capped.efficiency_gain_pct(*uncapped)),
+                                       core::fmt_pct(capped.perf_delta_pct(*uncapped))});
+                     });
       }
-      bench::emit(table, cli,
-                  std::string("Fig. 6 — CPU capping (cpu1 @ 48 % TDP), 24-Intel-2-V100, ") +
-                      core::to_string(op) + " (" + hw::to_string(precision) + ")");
+      campaign.then([table, &cli, op, precision] {
+        bench::emit(*table, cli,
+                    std::string("Fig. 6 — CPU capping (cpu1 @ 48 % TDP), 24-Intel-2-V100, ") +
+                        core::to_string(op) + " (" + hw::to_string(precision) + ")");
+      });
     }
   }
+  campaign.run();
   std::cout << "\nPaper anchors: >10 % efficiency improvement, up to 14 % for GEMM, with no "
                "performance loss; improvement across all configurations.\n";
   cli.write_summary(argv[0]);

@@ -11,6 +11,7 @@ namespace {
 int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
+  bench::Campaign campaign{cli};
   for (const std::string platform :
        {"32-AMD-4-A100", "64-AMD-2-A100", "24-Intel-2-V100"}) {
     const bool cpu_capped = platform == "24-Intel-2-V100";
@@ -25,29 +26,40 @@ int run(int argc, char** argv) {
         for (int nb : tiles) {
           headers.push_back("eff@Nt=" + std::to_string(nb));
         }
-        core::Table table{headers};
+        auto table = std::make_shared<core::Table>(headers);
 
         for (const auto& cfg : power::standard_ladder(gpus)) {
-          std::vector<std::string> out_row = {cfg.to_string()};
-          for (int nb : tiles) {
+          // One table row spans several experiments (one per tile size);
+          // the cells append in add order, the last one files the row.
+          auto out_row = std::make_shared<std::vector<std::string>>();
+          out_row->push_back(cfg.to_string());
+          for (std::size_t t = 0; t < tiles.size(); ++t) {
             core::ExperimentConfig ecfg = bench::experiment_for(row, cfg.to_string());
-            ecfg.nb = nb;
+            ecfg.nb = tiles[t];
             if (cpu_capped) {
               ecfg.cpu_cap =
                   core::CpuCap{core::paper::kCpuCapPackage, core::paper::kCpuCapFraction};
             }
-            const core::ExperimentResult r = cli.run_experiment(ecfg);
-            out_row.push_back(core::fmt(r.efficiency_gflops_per_w, 2));
+            const bool last = t + 1 == tiles.size();
+            campaign.add(std::move(ecfg),
+                         [table, out_row, last](const core::ExperimentResult& r) {
+                           out_row->push_back(core::fmt(r.efficiency_gflops_per_w, 2));
+                           if (last) {
+                             table->add_row(std::move(*out_row));
+                           }
+                         });
           }
-          table.add_row(std::move(out_row));
         }
-        bench::emit(table, cli,
-                    std::string("Fig. 7 — ") + platform + " " + core::to_string(op) + " (" +
-                        hw::to_string(precision) + ", N=" + std::to_string(row.n) +
-                        (cpu_capped ? ", cpu1 capped 48 %" : "") + ")");
+        campaign.then([table, &cli, platform, op, precision, cpu_capped, n = row.n] {
+          bench::emit(*table, cli,
+                      std::string("Fig. 7 — ") + platform + " " + core::to_string(op) + " (" +
+                          hw::to_string(precision) + ", N=" + std::to_string(n) +
+                          (cpu_capped ? ", cpu1 capped 48 %" : "") + ")");
+        });
       }
     }
   }
+  campaign.run();
   std::cout << "\nPaper observation: the same conclusions hold across tile sizes — all-B gives "
                "the best efficiency, partial capping still improves it, and lower precision "
                "benefits more.\n";

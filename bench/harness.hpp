@@ -8,7 +8,9 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "ckpt/signal.hpp"
 #include "core/checkpoint.hpp"
 #include "core/cli_flags.hpp"
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
@@ -46,6 +49,10 @@ int run_guarded(Fn&& fn) {
 struct Cli {
   bool csv = false;
   bool quick = false;  ///< coarser sweeps for smoke runs
+  /// Campaign worker threads (1 = serial, 0 = hardware concurrency). Runs
+  /// execute on isolated contexts; results and artifacts emit in config
+  /// order, so output is byte-identical at any value.
+  int jobs = 1;
   // Observability capture for the *first* experiment a binary runs (the
   // figures loop over dozens of configs; one representative profile is
   // what you want for a Perfetto look at the schedule).
@@ -72,6 +79,8 @@ struct Cli {
                      " [--telemetry-period-ms N]\n"
                   << "  --csv                    also emit CSV after each table\n"
                   << "  --quick                  coarser sweeps (CI smoke mode)\n"
+                  << "  --jobs N                 run the campaign on N worker threads"
+                     " (default 1; 0 = all cores)\n"
                   << "  --trace-json FILE        Perfetto export of the first experiment\n"
                   << "  --metrics-json FILE      metrics snapshot of the first experiment\n"
                   << "  --profile-json FILE      energy-attribution profile of the first run\n"
@@ -96,6 +105,7 @@ struct Cli {
     core::FlagParser parser;
     parser.flag("--csv", &cli.csv);
     parser.flag("--quick", &cli.quick);
+    parser.i32("--jobs", &cli.jobs);
     parser.str("--trace-json", &cli.trace_json);
     parser.str("--metrics-json", &cli.metrics_json);
     parser.str("--profile-json", &cli.profile_json);
@@ -117,11 +127,28 @@ struct Cli {
       std::cerr << argv[0] << ": " << err << "\n";
       std::exit(2);
     }
+    if (cli.jobs < 0) {
+      std::cerr << argv[0] << ": --jobs must be >= 0\n";
+      std::exit(2);
+    }
     if (!cli.ckpt.path.empty() || !cli.ckpt.resume_path.empty() || cli.ckpt.every_ms > 0.0 ||
         cli.ckpt.watchdog_ms > 0.0) {
+      if (cli.jobs != 1) {
+        // A checkpoint session replays a strictly serial campaign prefix and
+        // commits each run's artifacts in order; a parallel pool cannot
+        // honor that contract, so refuse loudly instead of degrading.
+        std::cerr << argv[0]
+                  << ": --checkpoint/--resume/--checkpoint-every-ms/--watchdog-ms require "
+                     "--jobs 1 (checkpoint sessions are serial); drop --jobs or the "
+                     "checkpoint flags\n";
+        std::exit(2);
+      }
       ckpt::install_signal_handlers();
       cli.session_ = std::make_shared<core::CheckpointSession>(cli.ckpt);
     }
+    core::EngineOptions eng;
+    eng.jobs = cli.jobs;
+    cli.engine_ = std::make_shared<core::CampaignEngine>(eng);
     return cli;
   }
 
@@ -146,6 +173,32 @@ struct Cli {
     return result;
   }
 
+  /// Runs a whole campaign through the engine. `on_result` fires on this
+  /// thread in strict config order at every --jobs value, so tables,
+  /// artifacts and stdout bytes are identical to a serial run. Checkpoint
+  /// sessions take the serial per-run path (prefix replay and
+  /// export-before-commit are order-sensitive; parse() already rejects
+  /// --checkpoint with --jobs != 1).
+  void run_all(const std::vector<core::ExperimentConfig>& configs,
+               const std::function<void(std::size_t, const core::ExperimentResult&)>& on_result)
+      const {
+    if (session_ != nullptr) {
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        const core::ExperimentResult r = run_experiment(configs[i]);
+        on_result(i, r);
+      }
+      return;
+    }
+    (void)engine_->run(configs, [&](std::size_t i, core::ExperimentResult& r) {
+      maybe_export(r);
+      on_result(i, r);
+    });
+  }
+
+  /// The engine driving run_all (exposed for sweeps that parallelize via
+  /// for_each_index rather than config lists).
+  [[nodiscard]] core::CampaignEngine& engine() const { return *engine_; }
+
   [[nodiscard]] bool observability_requested() const {
     return !trace_json.empty() || !metrics_json.empty() || !profile_json.empty() ||
            !profile_html.empty() || telemetry_period_ms > 0.0;
@@ -153,6 +206,17 @@ struct Cli {
 
   /// Copies the resilience knobs onto `cfg` (no-op with default knobs).
   void apply_resilience(core::ExperimentConfig& cfg) const { cfg.resilience = resilience; }
+
+  /// apply_observability() for campaigns whose configs are all built before
+  /// any run starts: marks the capture slot consumed at build time, so
+  /// exactly one config of the batch carries it (the first call's).
+  void apply_observability_first(core::ExperimentConfig& cfg) const {
+    if (obs_assigned_) {
+      return;
+    }
+    obs_assigned_ = true;
+    apply_observability(cfg);
+  }
 
   /// Enables capture on `cfg` if requested and not yet consumed by an
   /// earlier experiment of this process.
@@ -271,8 +335,59 @@ struct Cli {
   };
 
   mutable bool captured_ = false;
+  mutable bool obs_assigned_ = false;
   mutable std::vector<SummaryFigure> figures_;
   std::shared_ptr<core::CheckpointSession> session_;
+  std::shared_ptr<core::CampaignEngine> engine_;
+};
+
+/// Ordered batched campaign builder.
+///
+/// A bench queues every experiment up front, pairing each config with a
+/// continuation, plus plain actions (table emission) slotted between them.
+/// run() executes the whole batch through Cli::run_all — parallel under
+/// --jobs N — and invokes continuations and actions on the calling thread
+/// in exactly the order they were added, so a bench's stdout and artifacts
+/// are byte-identical to the old run-one-print-one loop at any job count.
+class Campaign {
+ public:
+  explicit Campaign(const Cli& cli) : cli_{cli} {}
+
+  /// Queues one experiment; `use` runs (in add order) once its result and
+  /// every earlier step are done.
+  void add(core::ExperimentConfig cfg,
+           std::function<void(const core::ExperimentResult&)> use) {
+    configs_.push_back(std::move(cfg));
+    uses_.push_back(std::move(use));
+  }
+
+  /// Queues an action ordered after everything added so far.
+  void then(std::function<void()> action) {
+    after_[configs_.size()].push_back(std::move(action));
+  }
+
+  void run() {
+    auto run_after = [&](std::size_t done) {
+      const auto it = after_.find(done);
+      if (it == after_.end()) {
+        return;
+      }
+      for (const auto& action : it->second) {
+        action();
+      }
+    };
+    run_after(0);  // actions queued before any experiment
+    cli_.run_all(configs_, [&](std::size_t i, const core::ExperimentResult& r) {
+      uses_[i](r);
+      run_after(i + 1);
+    });
+  }
+
+ private:
+  const Cli& cli_;
+  std::vector<core::ExperimentConfig> configs_;
+  std::vector<std::function<void(const core::ExperimentResult&)>> uses_;
+  std::map<std::size_t, std::vector<std::function<void()>>> after_;
 };
 
 inline void emit(const core::Table& table, const Cli& cli, const std::string& title) {

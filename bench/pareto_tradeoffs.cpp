@@ -15,29 +15,35 @@ namespace {
 int run(int argc, char** argv) {
   const bench::Cli cli = bench::Cli::parse(argc, argv);
 
+  bench::Campaign campaign{cli};
   for (const hw::Precision precision : {hw::Precision::kDouble, hw::Precision::kSingle}) {
     for (const core::Operation op : {core::Operation::kGemm, core::Operation::kPotrf}) {
       const auto row = core::paper::table_ii_row("32-AMD-4-A100", op, precision);
 
-      std::vector<core::ExperimentResult> results;
+      // The Pareto front needs the whole ladder at once; collect the group's
+      // results in ladder order, then rank and emit when the group is done.
+      auto results = std::make_shared<std::vector<core::ExperimentResult>>();
       for (const auto& cfg : power::standard_ladder(4)) {
-        results.push_back(cli.run_experiment(bench::experiment_for(row, cfg.to_string())));
+        campaign.add(bench::experiment_for(row, cfg.to_string()),
+                     [results](const core::ExperimentResult& r) { results->push_back(r); });
       }
-      const auto front = core::pareto_front(results);
-
-      core::Table table{{"config", "Gflop/s", "energy J", "Gflop/s/W", "pareto"}};
-      for (const auto& r : results) {
-        const bool on_front =
-            std::find(front.begin(), front.end(), &r) != front.end();
-        table.add_row({r.config.gpu_config.to_string(), core::fmt(r.gflops, 0),
-                       core::fmt(r.total_energy_j, 0),
-                       core::fmt(r.efficiency_gflops_per_w, 2), on_front ? "*" : ""});
-      }
-      bench::emit(table, cli,
-                  std::string("Pareto front — 32-AMD-4-A100 ") + core::to_string(op) + " (" +
-                      hw::to_string(precision) + ")");
+      campaign.then([results, &cli, op, precision] {
+        const auto front = core::pareto_front(*results);
+        core::Table table{{"config", "Gflop/s", "energy J", "Gflop/s/W", "pareto"}};
+        for (const auto& r : *results) {
+          const bool on_front =
+              std::find(front.begin(), front.end(), &r) != front.end();
+          table.add_row({r.config.gpu_config.to_string(), core::fmt(r.gflops, 0),
+                         core::fmt(r.total_energy_j, 0),
+                         core::fmt(r.efficiency_gflops_per_w, 2), on_front ? "*" : ""});
+        }
+        bench::emit(table, cli,
+                    std::string("Pareto front — 32-AMD-4-A100 ") + core::to_string(op) + " (" +
+                        hw::to_string(precision) + ")");
+      });
     }
   }
+  campaign.run();
   std::cout << "\nReading: the L configurations never make the front (dominated on both "
                "axes); the front runs from HHHH (fastest) through the partial-B configs to "
                "BBBB (most energy-frugal) — the paper's trade-off knob, made explicit.\n";

@@ -13,9 +13,15 @@ int run(int argc, char** argv) {
 
   core::Table table{{"GPU", "precision", "matrix size", "cap %TDP (ours)", "cap %TDP (paper)",
                      "eff saving % (ours)", "eff saving % (paper)", "slowdown %"}};
-  for (const auto& row : core::paper::table_i()) {
-    const auto sweep = power::sweep_gemm_caps(hw::presets::gpu_by_name(row.gpu), row.precision,
-                                              row.matrix_size, cli.quick ? 4.0 : 2.0);
+  const auto rows = core::paper::table_i();
+  std::vector<power::SweepResult> sweeps(rows.size());
+  cli.engine().for_each_index(rows.size(), [&](std::size_t i) {
+    sweeps[i] = power::sweep_gemm_caps(hw::presets::gpu_by_name(rows[i].gpu), rows[i].precision,
+                                       rows[i].matrix_size, cli.quick ? 4.0 : 2.0);
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& sweep = sweeps[i];
     table.add_row({row.gpu, hw::to_string(row.precision), std::to_string(row.matrix_size),
                    core::fmt(sweep.best().cap_pct_tdp, 0),
                    core::fmt(row.published_best_pct_tdp, 0),

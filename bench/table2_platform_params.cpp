@@ -15,10 +15,18 @@ int run(int argc, char** argv) {
 
   core::Table table{{"platform", "op", "N", "Nt", "precision", "P_best %TDP (ours)",
                      "P_best %TDP (paper)", "P_best W", "P_min W", "P_max W"}};
-  for (const auto& row : core::paper::table_ii()) {
+  const auto rows = core::paper::table_ii();
+  std::vector<power::SweepResult> sweeps(rows.size());
+  cli.engine().for_each_index(rows.size(), [&](std::size_t i) {
+    const hw::PlatformSpec spec = hw::presets::platform_by_name(rows[i].platform);
+    sweeps[i] = power::sweep_gemm_caps(spec.gpus.front(), rows[i].precision, rows[i].nb,
+                                       cli.quick ? 4.0 : 2.0);
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& sweep = sweeps[i];
     const hw::PlatformSpec spec = hw::presets::platform_by_name(row.platform);
     const hw::GpuArchSpec& gpu = spec.gpus.front();
-    const auto sweep = power::sweep_gemm_caps(gpu, row.precision, row.nb, cli.quick ? 4.0 : 2.0);
     table.add_row({row.platform, core::to_string(row.op), std::to_string(row.n),
                    std::to_string(row.nb), hw::to_string(row.precision),
                    core::fmt(sweep.best().cap_pct_tdp, 0),

@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <thread>
 
 #include "ckpt/serial.hpp"
 
@@ -95,7 +97,12 @@ void write_checkpoint_file(const std::string& path, Manifest manifest,
   const std::string& body = w.data();
   const std::uint32_t file_crc = crc32(body.data(), body.size());
 
-  const std::string tmp = path + ".tmp";
+  // Scratch name unique per (process, thread): campaigns running in
+  // parallel processes may checkpoint adjacent paths in one directory, and
+  // a shared "<path>.tmp" would let one writer truncate another's
+  // half-written file out from under its rename.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail(path, "cannot create " + tmp + ": " + std::strerror(errno));
 

@@ -15,9 +15,11 @@
 // can inspect a checkpoint without the binary decoder; the payload CRC is
 // repeated inside it so the manifest alone certifies the payload.
 //
-// Writes are atomic: the file is assembled in `path + ".tmp"`, flushed and
-// fsync()ed, then rename()d over the destination — a crash mid-write leaves
-// either the previous complete checkpoint or none, never a torn file.
+// Writes are atomic: the file is assembled in a per-(process, thread)
+// scratch file (`path + ".tmp.<pid>.<tid>"`, collision-free under
+// concurrent campaigns), flushed and fsync()ed, then rename()d over the
+// destination — a crash mid-write leaves either the previous complete
+// checkpoint or none, never a torn file.
 // Reads reject truncated, bit-flipped, or version-skewed files with a
 // CheckpointError naming the precise failure.
 #pragma once

@@ -1,0 +1,29 @@
+#include "core/calibration_cache.hpp"
+
+namespace greencap::core {
+
+double CalibrationCache::best_cap_w(const std::string& key,
+                                    const std::function<double()>& compute) {
+  Entry<double>& e = slot(caps_, key);
+  std::call_once(e.once, [&] { e.value = compute(); });
+  return e.value;
+}
+
+const rt::CalibrationRecord& CalibrationCache::calibration(
+    const std::string& key, const std::function<rt::CalibrationRecord()>& compute) {
+  Entry<rt::CalibrationRecord>& e = slot(calibrations_, key);
+  std::call_once(e.once, [&] { e.value = compute(); });
+  return e.value;
+}
+
+std::uint64_t CalibrationCache::hits() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return hits_;
+}
+
+std::uint64_t CalibrationCache::misses() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return misses_;
+}
+
+}  // namespace greencap::core

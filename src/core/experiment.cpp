@@ -1,26 +1,20 @@
 #include "core/experiment.hpp"
 
-#include <algorithm>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
-#include "ckpt/checkpointer.hpp"
-#include "ckpt/file.hpp"
 #include "core/checkpoint.hpp"
-#include "fault/fault_plan.hpp"
-#include "hw/presets.hpp"
+#include "core/run_context.hpp"
 #include "la/calibration_sets.hpp"
 #include "la/flops.hpp"
 #include "la/lq.hpp"
 #include "la/lu.hpp"
 #include "la/operations.hpp"
 #include "la/qr.hpp"
-#include "power/manager.hpp"
 #include "rt/calibration.hpp"
-#include "sim/simulator.hpp"
 
 namespace greencap::core {
 
@@ -83,79 +77,32 @@ double ExperimentResult::efficiency_gain_pct(const ExperimentResult& baseline) c
 
 namespace {
 
-/// Fills the profiler's run capture: metadata, device records (metered
-/// joules, static floors, cap context, modeled H/B/L rate scales for the
-/// what-if estimator) and — via the runtime — the realized task graph.
-/// Must run while the platform and power manager are still alive.
-void fill_capture(prof::RunCapture& capture, const ExperimentConfig& config,
-                  const hw::Platform& platform, const power::PowerManager& manager,
-                  const rt::Runtime& runtime, const sim::Simulator& simulator,
-                  sim::SimTime t_begin, const ExperimentResult& result) {
-  capture.platform = config.platform;
-  capture.operation = to_string(config.op);
-  capture.precision = hw::to_string(config.precision);
-  capture.scheduler = config.scheduler;
-  capture.gpu_config = config.gpu_config.size() != 0
-                           ? config.gpu_config.to_string()
-                           : std::string(platform.gpu_count(), 'H');
-  capture.n = config.n;
-  capture.nb = config.nb;
-  capture.t_begin_s = t_begin.sec();
-  capture.t_end_s = simulator.now().sec();
-  capture.makespan_s = result.stats.makespan.sec();
-  capture.total_flops = operation_flops(config.op, static_cast<double>(config.n));
+/// A calibration campaign can be shared across runs only when nothing can
+/// perturb the caps it measures under: fault plans and degradation may
+/// leave per-run cap state the cache key cannot see.
+bool calibration_shareable(const ExperimentConfig& config) {
+  return config.resilience.faults.empty() && !config.resilience.degrade;
+}
 
-  // Representative kernel for the what-if rate probes: a GEMM tile at the
-  // run's block size (the cap sweep's own yardstick).
-  hw::KernelWork probe_work;
-  probe_work.klass = hw::KernelClass::kGemm;
-  probe_work.precision = config.precision;
-  probe_work.flops = 1.0;
-  probe_work.work_dim = static_cast<double>(config.nb);
-
-  for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
-    const hw::GpuModel& gpu = platform.gpu(g);
-    prof::DeviceRecord dev;
-    dev.kind = prof::DeviceKind::kGpu;
-    dev.index = static_cast<std::int32_t>(g);
-    dev.name = gpu.spec().name;
-    dev.metered_j = g < result.energy.gpu_joules.size() ? result.energy.gpu_joules[g] : 0.0;
-    dev.static_w = gpu.spec().idle_w;
-    dev.cap_w = gpu.power_cap();
-    dev.level = config.gpu_config.size() != 0 ? power::to_char(config.gpu_config.level(g)) : 'H';
-    // Modeled kernel rate at each cap level, relative to H — probed on
-    // throwaway model instances so the live device's state is untouched.
-    auto rate_at = [&](power::Level level) {
-      hw::GpuModel probe{gpu.spec(), static_cast<std::int32_t>(g)};
-      probe.set_power_cap(manager.watts_for(g, level), sim::SimTime::zero());
-      return probe.rate_gflops(probe_work);
-    };
-    const double rate_h = rate_at(power::Level::kHigh);
-    if (rate_h > 0.0) {
-      dev.rate_scale_h = 1.0;
-      dev.rate_scale_b = rate_at(power::Level::kBest) / rate_h;
-      dev.rate_scale_l = rate_at(power::Level::kLow) / rate_h;
-    }
-    capture.devices.push_back(std::move(dev));
+/// Cache key for a warmup campaign. The measured times are a pure function
+/// of the platform, the precision, the tile size, the registered codelet
+/// sets (operation), the applied caps, and whether calibration ran before
+/// or after capping (stale-model ablation).
+std::string calibration_key(const ExperimentConfig& config) {
+  std::ostringstream oss;
+  oss << "cal|" << config.platform << '|' << hw::to_string(config.precision) << '|' << config.nb
+      << '|' << to_string(config.op) << '|'
+      << (config.gpu_config.size() ? config.gpu_config.to_string() : "H*");
+  if (config.cpu_cap) {
+    oss << "|cpu" << config.cpu_cap->package << '@' << config.cpu_cap->fraction_of_tdp;
   }
-  for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
-    const hw::CpuModel& cpu = platform.cpu(p);
-    prof::DeviceRecord dev;
-    dev.kind = prof::DeviceKind::kCpu;
-    dev.index = static_cast<std::int32_t>(p);
-    dev.name = cpu.spec().name;
-    dev.metered_j = p < result.energy.cpu_joules.size() ? result.energy.cpu_joules[p] : 0.0;
-    dev.static_w = cpu.spec().uncore_w;
-    dev.cap_w = cpu.power_cap();
-    dev.rate_scale_h = 1.0;
-    capture.devices.push_back(std::move(dev));
-  }
-
-  runtime.export_capture(capture);
+  oss << "|stale=" << (config.stale_models ? 1 : 0);
+  return oss.str();
 }
 
 template <typename T>
-ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* session) {
+ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* session,
+                           const RunServices& services) {
   // A resume consumes the checkpoint's mid-run state up front; everything
   // below is then constructed exactly as in a fresh run (same platform,
   // same DAG, same component wiring) and the saved dynamic state overlaid
@@ -174,113 +121,15 @@ ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* se
         "(numeric tile data is not captured)");
   }
 
-  hw::Platform platform{hw::presets::platform_by_name(config.platform)};
-  sim::Simulator simulator;
+  RunContext ctx{config, services};
+  rt::Runtime& runtime = ctx.runtime();
 
-  ExperimentResult result;
-  result.config = config;
-
-  // -- fault injection ---------------------------------------------------------
-  // The injector owns its own seeded RNG stream: constructing it (or running
-  // a plan that fires nothing) never perturbs the runtime's randomness.
-  std::unique_ptr<fault::FaultInjector> injector;
-  if (!config.resilience.faults.empty()) {
-    const std::uint64_t fault_seed = config.resilience.fault_seed != 0
-                                         ? config.resilience.fault_seed
-                                         : config.seed ^ 0x9e3779b97f4a7c15ULL;
-    injector = std::make_unique<fault::FaultInjector>(
-        fault::FaultPlan::parse(config.resilience.faults), fault_seed);
-  }
-
-  // -- power configuration & model calibration --------------------------------
-  power::PowerManager manager{platform, simulator};
-  manager.resolve_best_caps(config.precision, config.nb);
-  power::PowerResilience power_res;
-  power_res.max_retries = config.resilience.max_cap_retries;
-  power_res.allow_degradation = config.resilience.degrade;
-  manager.set_resilience(power_res);
-  manager.set_degradation(&result.degradation);
-  if (injector != nullptr) {
-    manager.attach_faults(*injector);
-  }
-
-  // Observability artifacts outlive the runtime via the result.
-  auto obs_data = config.obs.any() ? std::make_shared<ObservabilityData>() : nullptr;
-
-  rt::RuntimeOptions options;
-  options.scheduler = config.scheduler;
-  options.execute_kernels = config.execute_kernels;
-  options.seed = config.seed;
-  // The stale-model ablation also freezes online learning; otherwise the
-  // history model would heal itself after one task per worker.
-  options.update_perf_model = !config.stale_models;
-  options.enable_trace = config.obs.trace;
-  options.profile = config.obs.profile;
-  if (obs_data != nullptr) {
-    if (config.obs.metrics) {
-      options.metrics = &obs_data->metrics;
-    }
-    if (config.obs.decision_log) {
-      options.decision_log = &obs_data->decisions;
-    }
-  }
-  options.faults = injector.get();
-  options.degradation = &result.degradation;
-  rt::Runtime runtime{platform, simulator, options};
-  if (injector != nullptr && obs_data != nullptr) {
-    injector->set_metrics(options.metrics);
-    if (config.obs.trace) {
-      injector->set_trace(&runtime.trace());
-    }
-  }
-  obs::TelemetrySampler sampler;
-  if (obs_data != nullptr) {
-    manager.set_metrics(options.metrics);
-    if (config.obs.trace) {
-      manager.set_trace(&runtime.trace(), &simulator);
-    }
-    if (config.obs.telemetry_period_ms > 0.0) {
-      obs::attach_platform_channels(sampler, platform);
-      runtime.register_telemetry(sampler);
-    }
-  }
-
-  // -- energy accounting -------------------------------------------------------
-  // Every raw GPU counter reading flows through a monotonic tracker, so an
-  // injected counter reset (driver reload) cannot make end-minus-start go
-  // negative. With no faults the trackers are exact pass-throughs.
-  std::vector<hw::MonotonicEnergyTracker> gpu_energy{platform.gpu_count()};
-  auto read_energy = [&](sim::SimTime now) {
-    hw::EnergyReading r = platform.read_energy(now);
-    for (std::size_t g = 0; g < r.gpu_joules.size(); ++g) {
-      r.gpu_joules[g] = gpu_energy[g].update(r.gpu_joules[g]);
-    }
-    return r;
-  };
-  if (injector != nullptr) {
-    injector->on_energy_reset([&](int gpu, sim::SimTime now) {
-      // Sample just before zeroing so the tracker holds everything
-      // accumulated so far, then fold it explicitly — reconstruction is
-      // exact regardless of how much energy follows the reset.
-      (void)read_energy(now);
-      gpu_energy[static_cast<std::size_t>(gpu)].note_reset();
-      platform.gpu(static_cast<std::size_t>(gpu)).reset_energy(now);
-    });
-  }
-
+  // -- model calibration -------------------------------------------------------
   la::Codelets<T> codelets;
   la::LuCodelets<T> lu_codelets;
   la::QrCodelets<T> qr_codelets;
   la::LqCodelets<T> lq_codelets;
   rt::Calibrator calibrator{runtime};
-  auto apply_caps = [&] {
-    if (config.gpu_config.size() != 0) {
-      manager.apply(config.gpu_config);
-    }
-    if (config.cpu_cap) {
-      manager.cap_cpu(config.cpu_cap->package, config.cpu_cap->fraction_of_tdp);
-    }
-  };
   auto calibrate_all = [&] {
     la::calibrate_codelets<T>(calibrator, codelets, {config.nb});
     if (config.op == Operation::kGetrf) {
@@ -291,39 +140,47 @@ ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* se
       la::calibrate_lq_codelets<T>(calibrator, lq_codelets, {config.nb});
     }
   };
+  // Warm the history models, via the campaign cache when one is wired in:
+  // the first run with a given key measures (recording the exact record()
+  // sequence), every later run replays that immutable log — bit-identical
+  // model state either way, because calibration never advances the clock.
+  auto warm_models = [&] {
+    CalibrationCache* cache = ctx.calibration_cache();
+    if (cache == nullptr || !calibration_shareable(config)) {
+      calibrate_all();
+      return;
+    }
+    bool computed_here = false;
+    const rt::CalibrationRecord& record =
+        cache->calibration(calibration_key(config), [&] {
+          rt::CalibrationRecord fresh;
+          calibrator.set_record_sink(&fresh);
+          calibrate_all();
+          calibrator.set_record_sink(nullptr);
+          computed_here = true;
+          return fresh;
+        });
+    if (!computed_here) {
+      rt::replay_calibration(runtime, record);
+    }
+  };
   if (!restoring) {
     if (config.stale_models) {
       // Maladaptation ablation: models measured at default power, caps
       // applied afterwards, no recalibration.
-      calibrate_all();
-      apply_caps();
+      warm_models();
+      ctx.apply_caps();
     } else {
       // Paper protocol: caps first, then calibration, so the history models
       // see the capped speeds (section III-B).
-      apply_caps();
+      ctx.apply_caps();
       if (config.recalibrate) {
-        calibrate_all();
+        warm_models();
       }
     }
   }
 
-  // -- resilience loops --------------------------------------------------------
-  // Reconciliation and the injector's timed faults start only now, after
-  // calibration, so plan times mean "seconds into the measured run"; drain
-  // hooks stop both at the instant the DAG retires, keeping the makespan
-  // free of stray bookkeeping events. On a resume neither is armed here:
-  // their pending events come back through the ordered event replay.
-  if (config.resilience.reconcile_ms > 0.0) {
-    if (!restoring) {
-      manager.start_reconciliation(
-          sim::SimTime::millis(config.resilience.reconcile_ms),
-          [&runtime](std::size_t gpu) { runtime.invalidate_gpu_history(gpu); });
-    }
-    runtime.add_drain_hook([&manager] { manager.stop_reconciliation(); });
-  }
-  if (injector != nullptr && !restoring) {
-    injector->arm(simulator);
-  }
+  ctx.start_resilience(restoring);
 
   // -- build the operation's data and task graph -------------------------------
   // On a resume the same registrations and submissions rebuild the static
@@ -372,20 +229,8 @@ ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* se
       break;
   }
 
-  // Arm telemetry only around the measured operation, mirroring the
-  // counter-read-at-start/end energy methodology: calibration activity
-  // stays out of the profile.
-  sim::SimTime t_begin;
-  hw::EnergyReading start;
   if (!restoring) {
-    if (config.obs.telemetry_period_ms > 0.0) {
-      sampler.start(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
-    }
-    // Instant of the start-of-window energy read: calibration (which never
-    // advances the clock) is behind us, but resilient cap writes may have —
-    // so read the clock here, not at zero.
-    t_begin = simulator.now();
-    start = read_energy(simulator.now());
+    ctx.begin_measurement();
   }
 
   switch (config.op) {
@@ -397,282 +242,16 @@ ExperimentResult run_typed(const ExperimentConfig& config, CheckpointSession* se
   }
 
   // -- checkpoint capture / restore --------------------------------------------
-  std::unique_ptr<ckpt::Checkpointer> checkpointer;
-
-  // Pure read of the complete resumable state; never advances meters or
-  // the clock, so a run with checkpointing on stays byte-identical.
-  auto capture_run_state = [&]() {
-    ckpt_io::RunState s;
-    s.t_virtual_s = simulator.now().sec();
-    s.t_begin_s = t_begin.sec();
-    s.watchdog_progress = checkpointer != nullptr ? checkpointer->watchdog_progress() : 0;
-    s.start_energy = start;
-    s.runtime = runtime.snapshot();
-    for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
-      const hw::GpuModel& gpu = platform.gpu(g);
-      ckpt_io::GpuState gs;
-      gs.cap_w = gpu.power_cap();
-      gs.busy = gpu.busy();
-      gs.failed = gpu.failed();
-      gs.meter_power_w = gpu.meter().power_w();
-      gs.meter_joules = gpu.meter().joules();
-      gs.meter_last_update_s = gpu.meter().last_update().sec();
-      s.gpus.push_back(gs);
-    }
-    for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
-      const hw::CpuModel& cpu = platform.cpu(p);
-      ckpt_io::CpuState cs;
-      cs.cap_w = cpu.power_cap();
-      cs.active_cores = cpu.active_cores();
-      cs.meter_power_w = cpu.meter().power_w();
-      cs.meter_joules = cpu.meter().joules();
-      cs.meter_last_update_s = cpu.meter().last_update().sec();
-      s.cpus.push_back(cs);
-    }
-    for (const hw::MonotonicEnergyTracker& tracker : gpu_energy) {
-      ckpt_io::TrackerState ts;
-      ts.offset_j = tracker.offset();
-      ts.last_raw_j = tracker.last_raw();
-      ts.resets = tracker.resets_seen();
-      s.trackers.push_back(ts);
-    }
-    s.power = manager.snapshot();
-    if (injector != nullptr) {
-      s.has_injector = true;
-      s.injector = injector->snapshot();
-    }
-    if (config.obs.trace) {
-      s.trace_spans = runtime.trace().spans();
-      s.trace_markers = runtime.trace().markers();
-    }
-    if (obs_data != nullptr && config.obs.metrics) {
-      for (const auto& [name, counter] : obs_data->metrics.counters()) {
-        s.counters.emplace_back(name, counter.value());
-      }
-      for (const auto& [name, gauge] : obs_data->metrics.gauges()) {
-        s.gauges.emplace_back(name, gauge.value());
-      }
-      for (const auto& [name, hist] : obs_data->metrics.histograms()) {
-        ckpt_io::HistogramState h;
-        h.name = name;
-        h.bounds = hist.bounds();
-        h.buckets = hist.buckets();
-        h.count = hist.count();
-        h.sum = hist.sum();
-        h.min = hist.min();
-        h.max = hist.max();
-        s.histograms.push_back(std::move(h));
-      }
-    }
-    if (obs_data != nullptr && config.obs.decision_log) {
-      s.decisions = obs_data->decisions.decisions();
-    }
-    if (config.obs.telemetry_period_ms > 0.0) {
-      s.telemetry = sampler.series().samples();
-    }
-    s.degradation = result.degradation.events();
-
-    // Pending simulator events, sorted by their original scheduling order
-    // (seq) so the replay preserves every (time, seq) tie-break.
-    std::vector<std::pair<std::uint64_t, ckpt_io::EventRecord>> pending;
-    auto add_event = [&](ckpt_io::EventKind kind, std::int32_t index, sim::EventId id) {
-      if (!simulator.pending(id)) {
-        return;
-      }
-      ckpt_io::EventRecord rec;
-      rec.kind = kind;
-      rec.index = index;
-      rec.when_s = simulator.time_of(id).sec();
-      pending.emplace_back(id.seq, rec);
-    };
-    for (std::size_t i = 0; i < runtime.worker_count(); ++i) {
-      const rt::Worker& w = runtime.worker(i);
-      if (w.inflight == nullptr) {
-        continue;
-      }
-      if (w.begin_event.seq != w.end_event.seq) {
-        add_event(ckpt_io::EventKind::kWorkerBegin, w.id(), w.begin_event);
-      }
-      add_event(ckpt_io::EventKind::kWorkerEnd, w.id(), w.end_event);
-    }
-    if (manager.reconciling()) {
-      add_event(ckpt_io::EventKind::kReconcile, -1, manager.reconcile_event());
-    }
-    if (sampler.running()) {
-      add_event(ckpt_io::EventKind::kTelemetry, -1, sampler.pending_event());
-    }
-    if (injector != nullptr) {
-      for (const auto& [plan_index, id] : injector->pending()) {
-        add_event(ckpt_io::EventKind::kFault, static_cast<std::int32_t>(plan_index), id);
-      }
-    }
-    if (checkpointer != nullptr && checkpointer->watchdog_armed()) {
-      add_event(ckpt_io::EventKind::kWatchdog, -1, checkpointer->watchdog_event());
-    }
-    if (checkpointer != nullptr && checkpointer->tick_armed()) {
-      add_event(ckpt_io::EventKind::kCkptTick, -1, checkpointer->tick_event());
-    }
-    std::sort(pending.begin(), pending.end(),
-              [](const auto& lhs, const auto& rhs) { return lhs.first < rhs.first; });
-    s.events.reserve(pending.size());
-    for (auto& [seq, rec] : pending) {
-      s.events.push_back(rec);
-    }
-    return s;
-  };
-
   if (use_checkpointer) {
-    ckpt::Checkpointer::Options copt;
-    copt.period = sim::SimTime::millis(session->options().every_ms);
-    copt.watchdog = sim::SimTime::millis(session->options().watchdog_ms);
-    checkpointer = std::make_unique<ckpt::Checkpointer>(
-        simulator, copt,
-        [&](const char* reason) {
-          if (session->writes_enabled()) {
-            session->write_run_checkpoint(reason, config, capture_run_state());
-          }
-        },
-        [&runtime] { return runtime.stats().tasks_completed; });
-    runtime.add_drain_hook([&checkpointer] { checkpointer->cancel(); });
+    ctx.attach_checkpointer(*session);
   }
-
   if (restoring) {
-    runtime.finish_restore(resume->runtime);
-    if (resume->gpus.size() != platform.gpu_count() ||
-        resume->cpus.size() != platform.cpu_count() ||
-        resume->trackers.size() != gpu_energy.size()) {
-      throw ckpt::CheckpointError{"checkpoint device state does not match the platform"};
-    }
-    for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
-      const ckpt_io::GpuState& gs = resume->gpus[g];
-      platform.gpu(g).restore_state(gs.cap_w, gs.busy, gs.failed, gs.meter_power_w,
-                                    gs.meter_joules,
-                                    sim::SimTime::seconds(gs.meter_last_update_s));
-    }
-    for (std::size_t p = 0; p < platform.cpu_count(); ++p) {
-      const ckpt_io::CpuState& cs = resume->cpus[p];
-      platform.cpu(p).restore_state(cs.cap_w, cs.active_cores, cs.meter_power_w,
-                                    cs.meter_joules,
-                                    sim::SimTime::seconds(cs.meter_last_update_s));
-    }
-    for (std::size_t g = 0; g < gpu_energy.size(); ++g) {
-      const ckpt_io::TrackerState& ts = resume->trackers[g];
-      gpu_energy[g].restore(ts.offset_j, ts.last_raw_j, ts.resets);
-    }
-    manager.restore(resume->power,
-                    [&runtime](std::size_t gpu) { runtime.invalidate_gpu_history(gpu); });
-    if (injector != nullptr && resume->has_injector) {
-      injector->restore(resume->injector, simulator);
-    }
-    if (config.obs.trace) {
-      runtime.trace().restore(std::move(resume->trace_spans),
-                              std::move(resume->trace_markers));
-    }
-    if (obs_data != nullptr && config.obs.metrics) {
-      for (const auto& [name, value] : resume->counters) {
-        obs_data->metrics.counter(name).restore(value);
-      }
-      for (const auto& [name, value] : resume->gauges) {
-        obs_data->metrics.gauge(name).set(value);
-      }
-      for (ckpt_io::HistogramState& h : resume->histograms) {
-        obs_data->metrics.histogram(h.name, h.bounds)
-            .restore(std::move(h.buckets), h.count, h.sum, h.min, h.max);
-      }
-    }
-    if (obs_data != nullptr && config.obs.decision_log) {
-      for (obs::Decision& d : resume->decisions) {
-        obs_data->decisions.add(std::move(d));
-      }
-    }
-    if (config.obs.telemetry_period_ms > 0.0) {
-      sampler.restore_series(std::move(resume->telemetry));
-      sampler.resume(simulator, sim::SimTime::millis(config.obs.telemetry_period_ms));
-    }
-    for (fault::DegradationEvent& e : resume->degradation) {
-      result.degradation.add(std::move(e));
-    }
-    t_begin = sim::SimTime::seconds(resume->t_begin_s);
-    start = resume->start_energy;
-    simulator.restore_clock(sim::SimTime::seconds(resume->t_virtual_s));
-
-    // Ordered replay: events re-created in ascending original seq occupy
-    // the lowest new seqs, so every same-instant tie resolves as it did in
-    // the checkpointed run.
-    std::vector<bool> begin_replayed(runtime.worker_count(), false);
-    for (const ckpt_io::EventRecord& e : resume->events) {
-      if (e.kind == ckpt_io::EventKind::kWorkerBegin) {
-        begin_replayed.at(static_cast<std::size_t>(e.index)) = true;
-      }
-    }
-    for (const ckpt_io::EventRecord& e : resume->events) {
-      const sim::SimTime when = sim::SimTime::seconds(e.when_s);
-      switch (e.kind) {
-        case ckpt_io::EventKind::kWorkerBegin:
-          runtime.reschedule_begin(e.index);
-          break;
-        case ckpt_io::EventKind::kWorkerEnd:
-          runtime.reschedule_end(e.index,
-                                 begin_replayed.at(static_cast<std::size_t>(e.index)));
-          break;
-        case ckpt_io::EventKind::kReconcile:
-          manager.rearm_reconcile_at(when);
-          break;
-        case ckpt_io::EventKind::kTelemetry:
-          sampler.rearm_at(when);
-          break;
-        case ckpt_io::EventKind::kFault:
-          if (injector == nullptr) {
-            throw ckpt::CheckpointError{"checkpoint has a pending fault but no fault plan"};
-          }
-          injector->rearm_event(static_cast<std::size_t>(e.index), when);
-          break;
-        case ckpt_io::EventKind::kWatchdog:
-          if (checkpointer == nullptr) {
-            throw ckpt::CheckpointError{
-                "checkpoint has a pending watchdog probe: resume with the same "
-                "--watchdog-ms as the checkpointed run"};
-          }
-          checkpointer->rearm_watchdog_at(when, resume->watchdog_progress);
-          break;
-        case ckpt_io::EventKind::kCkptTick:
-          if (checkpointer == nullptr) {
-            throw ckpt::CheckpointError{
-                "checkpoint has a pending checkpoint tick: resume with the same "
-                "--checkpoint-every-ms as the checkpointed run"};
-          }
-          checkpointer->rearm_tick_at(when);
-          break;
-      }
-    }
-    if (checkpointer != nullptr) {
-      checkpointer->arm_missing();
-    }
-  } else if (checkpointer != nullptr) {
-    checkpointer->arm();
+    ctx.restore(std::move(*resume));
+  } else {
+    ctx.arm_checkpointer();
   }
 
-  runtime.wait_all();
-  result.energy = read_energy(simulator.now()) - start;
-  sampler.stop();
-  result.stats = runtime.stats();
-  if (injector != nullptr) {
-    result.fault_counts = injector->counts();
-  }
-  for (const auto& tracker : gpu_energy) {
-    result.energy_counter_resets += tracker.resets_seen();
-  }
-  if (obs_data != nullptr) {
-    obs_data->trace = runtime.trace();
-    obs_data->telemetry = sampler.series();
-    obs_data->worker_names = runtime.worker_names();
-    if (config.obs.profile) {
-      fill_capture(obs_data->capture, config, platform, manager, runtime, simulator, t_begin,
-                   result);
-    }
-    result.observability = std::move(obs_data);
-  }
-  return result;
+  return ctx.finish();
 }
 
 void finalize_metrics(ExperimentResult& result) {
@@ -699,21 +278,30 @@ void finalize_metrics(ExperimentResult& result) {
   }
 }
 
-}  // namespace
-
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  return run_experiment(config, nullptr);
-}
-
-ExperimentResult run_experiment(const ExperimentConfig& config, CheckpointSession* session) {
+ExperimentResult run_checked(const ExperimentConfig& config, CheckpointSession* session,
+                             const RunServices& services) {
   if (config.n <= 0 || config.nb <= 0 || config.n % config.nb != 0) {
     throw std::invalid_argument("run_experiment: n must be a positive multiple of nb");
   }
   ExperimentResult result = config.precision == hw::Precision::kDouble
-                                ? run_typed<double>(config, session)
-                                : run_typed<float>(config, session);
+                                ? run_typed<double>(config, session, services)
+                                : run_typed<float>(config, session, services);
   finalize_metrics(result);
   return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return run_checked(config, nullptr, RunServices{});
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config, const RunServices& services) {
+  return run_checked(config, nullptr, services);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config, CheckpointSession* session) {
+  return run_checked(config, session, RunServices{});
 }
 
 }  // namespace greencap::core

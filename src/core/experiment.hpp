@@ -162,6 +162,14 @@ struct ExperimentResult {
 /// runs are completely independent, like the paper's separate jobs).
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
 
+struct RunServices;  // core/run_context.hpp
+
+/// run_experiment() with injected run-scoped services (shared warmup cache,
+/// per-run logging) — the campaign engine's entry point. Byte-identical
+/// results to the plain overload by construction.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
+                                              const RunServices& services);
+
 /// Total useful flops of the operation at size n.
 [[nodiscard]] double operation_flops(Operation op, double n);
 

@@ -6,25 +6,38 @@
 // into a clear stderr message and a false return (callers exit nonzero)
 // instead of a silently truncated artifact.
 //
-// Writes are atomic: the writer runs against "<path>.tmp" which is renamed
-// over the target only after a successful flush. A crash mid-export leaves
-// either the previous artifact or none — never a truncated file that a
-// later resume could mistake for a complete one.
+// Writes are atomic: the writer runs against a scratch file which is
+// renamed over the target only after a successful flush. A crash
+// mid-export leaves either the previous artifact or none — never a
+// truncated file that a later resume could mistake for a complete one.
 #pragma once
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include <unistd.h>
+
 namespace greencap::obs {
+
+/// Scratch name unique per (process, thread): concurrent campaigns and
+/// concurrent processes may export into the same directory, and a shared
+/// "<path>.tmp" would let one writer truncate another's half-written file
+/// out from under its rename.
+[[nodiscard]] inline std::string scratch_path(const std::string& path) {
+  const std::size_t tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return path + ".tmp." + std::to_string(::getpid()) + "." + std::to_string(tid);
+}
 
 /// Writes `writer(std::ostream&)` to `path`. Returns false — after
 /// printing "error: ..." with the path and artifact kind to stderr — if
 /// the file cannot be opened or any write/flush/rename fails.
 template <typename Writer>
 [[nodiscard]] bool write_artifact(const std::string& path, const char* what, Writer&& writer) {
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = scratch_path(path);
   {
     std::ofstream os{tmp, std::ios::binary | std::ios::trunc};
     if (!os) {

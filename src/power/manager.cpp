@@ -79,6 +79,10 @@ nvml::Result PowerManager::try_set_gpu(std::size_t gpu, std::uint32_t mw) {
       if (metrics_ != nullptr) {
         metrics_->counter("power.cap_write_retries").inc();
       }
+      if (log_ != nullptr) {
+        log_->logf(sim::LogLevel::kDebug, "power: retrying cap write gpu%zu (%u mW, attempt %d)",
+                   gpu, mw, attempt);
+      }
     }
     last = dev.set_power_management_limit(mw);
     if (last == nvml::Result::kSuccess && resilience_.verify_after_write) {
@@ -279,6 +283,10 @@ void PowerManager::reconcile_once() {
 
 void PowerManager::record_degradation(std::string detail, std::string from, std::string to,
                                       std::string reason) {
+  if (log_ != nullptr) {
+    log_->logf(sim::LogLevel::kInfo, "power: %s degraded %s -> %s (%s) at t=%.6fs", detail.c_str(),
+               from.c_str(), to.c_str(), reason.c_str(), sim_.now().sec());
+  }
   if (degradation_ == nullptr) {
     return;
   }

@@ -29,6 +29,7 @@
 #include "power/config.hpp"
 #include "power/sweep.hpp"
 #include "rapl/rapl.hpp"
+#include "sim/log.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -148,6 +149,10 @@ class PowerManager {
     trace_sim_ = sim;
   }
 
+  /// Narrates retries, degradations, and reconciliation re-asserts to the
+  /// run's logger (kDebug/kInfo; not owned, may be null).
+  void set_logger(sim::Logger* log) { log_ = log; }
+
  private:
   void note_cap_change(const std::string& device, double watts);
   [[nodiscard]] nvml::Device& device(std::size_t gpu);
@@ -179,6 +184,7 @@ class PowerManager {
   obs::MetricsRegistry* metrics_ = nullptr;
   sim::Trace* trace_ = nullptr;
   const sim::Simulator* trace_sim_ = nullptr;
+  sim::Logger* log_ = nullptr;
 };
 
 }  // namespace greencap::power

@@ -2,6 +2,12 @@
 
 namespace greencap::rt {
 
+void replay_calibration(Runtime& runtime, const CalibrationRecord& record) {
+  for (const CalibrationRecord::Entry& e : record.entries) {
+    runtime.perf_model().record(e.codelet, e.worker, e.work, sim::SimTime::seconds(e.time_s));
+  }
+}
+
 void Calibrator::calibrate(const Codelet& codelet, const std::vector<hw::KernelWork>& works,
                            int samples_per_point) {
   sets_.push_back(Set{&codelet, works, samples_per_point});
@@ -19,6 +25,10 @@ void Calibrator::measure(const Codelet& codelet, const std::vector<hw::KernelWor
       const sim::SimTime t = runtime_.oracle_exec_time(codelet, work, worker);
       for (int s = 0; s < samples; ++s) {
         runtime_.perf_model().record(codelet.name, worker.id(), work, t);
+        if (record_ != nullptr) {
+          record_->entries.push_back(
+              CalibrationRecord::Entry{codelet.name, worker.id(), work, t.sec()});
+        }
       }
     }
   }
@@ -26,6 +36,11 @@ void Calibrator::measure(const Codelet& codelet, const std::vector<hw::KernelWor
 
 void Calibrator::recalibrate_all() {
   runtime_.perf_model().invalidate();
+  if (record_ != nullptr) {
+    // The invalidation wiped the model; only measurements from here on
+    // contribute to its final state, so the replay log restarts too.
+    record_->entries.clear();
+  }
   for (const Set& set : sets_) {
     measure(*set.codelet, set.works, set.samples);
   }

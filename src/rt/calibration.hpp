@@ -8,8 +8,17 @@
 // eligible worker and records the measurements into the runtime's history
 // model. recalibrate_all() re-runs the whole campaign — call it right
 // after PowerManager applies a new configuration.
+//
+// Record/replay: the history model's state is purely a function of the
+// ordered record() calls it receives, and calibration never advances the
+// virtual clock. A CalibrationRecord therefore captures a measurement
+// campaign exactly; replaying it into a fresh runtime on the same platform
+// under the same caps rebuilds bit-identical model state. The campaign
+// engine's warmup cache relies on this to share calibration across runs.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hw/kernel_work.hpp"
@@ -17,6 +26,23 @@
 #include "rt/runtime.hpp"
 
 namespace greencap::rt {
+
+/// The ordered sequence of history-model record() calls a calibration
+/// campaign issued. Immutable once built; safe to share across threads.
+struct CalibrationRecord {
+  struct Entry {
+    std::string codelet;
+    std::int32_t worker;
+    hw::KernelWork work;
+    double time_s;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Re-issues every recorded measurement into `runtime`'s history model,
+/// in the original order. The target runtime must have at least as many
+/// workers as the recording one (same platform in practice).
+void replay_calibration(Runtime& runtime, const CalibrationRecord& record);
 
 class Calibrator {
  public:
@@ -32,6 +58,11 @@ class Calibrator {
 
   [[nodiscard]] std::size_t registered_sets() const { return sets_.size(); }
 
+  /// Mirrors every subsequent measurement into `record` (not owned; null
+  /// stops recording). The recorded entries match the record() calls made
+  /// on the runtime's history model one-for-one.
+  void set_record_sink(CalibrationRecord* record) { record_ = record; }
+
  private:
   void measure(const Codelet& codelet, const std::vector<hw::KernelWork>& works, int samples);
 
@@ -42,6 +73,7 @@ class Calibrator {
   };
   Runtime& runtime_;
   std::vector<Set> sets_;
+  CalibrationRecord* record_ = nullptr;
 };
 
 }  // namespace greencap::rt

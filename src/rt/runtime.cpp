@@ -440,6 +440,12 @@ void Runtime::finish_task(Task& task, Worker& worker) {
 
 void Runtime::wait_all() {
   sim_.run();
+  if (options_.log != nullptr) {
+    options_.log->logf(sim::LogLevel::kDebug,
+                       "rt: drained %llu/%zu tasks, makespan %.6fs",
+                       static_cast<unsigned long long>(tasks_completed_), tasks_.size(),
+                       last_completion_.sec());
+  }
   if (tasks_completed_ != tasks_.size()) {
     std::ostringstream oss;
     oss << "Runtime::wait_all: deadlock — " << (tasks_.size() - tasks_completed_)
@@ -662,6 +668,13 @@ void Runtime::handle_dropout(int gpu, sim::SimTime now) {
     task->assigned_worker = -1;
     task->data_ready_at = sim::SimTime::zero();
     make_ready(*task);
+  }
+  if (options_.log != nullptr) {
+    options_.log->logf(sim::LogLevel::kInfo,
+                       "rt: quarantined %s at t=%.6fs (gpu%d dropout, %zu task(s) requeued, "
+                       "%llu handle(s) refetched from host)",
+                       w.describe().c_str(), now.sec(), gpu, requeue.size(),
+                       static_cast<unsigned long long>(restored));
   }
   wake_all_idle();
 }

@@ -4,8 +4,7 @@
 
 namespace greencap::sim {
 
-namespace {
-const char* level_name(LogLevel level) {
+const char* to_string(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -15,11 +14,15 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-Logger& Logger::instance() {
-  static Logger logger;
-  return logger;
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else if (name == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
 }
 
 void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
@@ -54,7 +57,7 @@ void Logger::log(LogLevel level, const std::string& msg) {
   if (sink_) {
     sink_(level, msg);
   } else {
-    std::fprintf(stderr, "[greencap %s] %s\n", level_name(level), msg.c_str());
+    std::fprintf(stderr, "[greencap %s] %s\n", to_string(level), msg.c_str());
   }
 }
 

@@ -1,7 +1,15 @@
 // Minimal leveled logging.
 //
+// A Logger is a plain value object owned by whoever runs a simulation —
+// the experiment driver keeps one per run inside core::RunContext and
+// hands non-owning pointers to the components that want to narrate
+// (runtime, power manager, fault injector, checkpointer). There is no
+// process-global logger: parallel campaign runs each carry their own
+// sink and level, so two concurrent experiments can never interleave
+// state through a singleton.
+//
 // Simulation sweeps run thousands of silent experiments; logging defaults
-// to kWarn and is routed through a single sink so tests can capture it.
+// to kWarn and is routed through a per-logger sink so tests can capture it.
 #pragma once
 
 #include <cstdio>
@@ -12,11 +20,18 @@ namespace greencap::sim {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Level name for sink implementations ("DEBUG", "INFO", ...).
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Parses "debug|info|warn|error|off" (as accepted by --log-level).
+/// Returns false and leaves `out` untouched on an unknown name.
+[[nodiscard]] bool parse_log_level(const std::string& name, LogLevel* out);
+
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
-  static Logger& instance();
+  Logger() = default;
 
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
@@ -35,16 +50,8 @@ class Logger {
   logf(LogLevel level, const char* fmt, ...);
 
  private:
-  Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
 };
-
-#define GREENCAP_LOG(level, ...) \
-  ::greencap::sim::Logger::instance().logf((level), __VA_ARGS__)
-#define GREENCAP_DEBUG(...) GREENCAP_LOG(::greencap::sim::LogLevel::kDebug, __VA_ARGS__)
-#define GREENCAP_INFO(...) GREENCAP_LOG(::greencap::sim::LogLevel::kInfo, __VA_ARGS__)
-#define GREENCAP_WARN(...) GREENCAP_LOG(::greencap::sim::LogLevel::kWarn, __VA_ARGS__)
-#define GREENCAP_ERROR(...) GREENCAP_LOG(::greencap::sim::LogLevel::kError, __VA_ARGS__)
 
 }  // namespace greencap::sim

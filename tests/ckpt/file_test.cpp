@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -126,7 +127,13 @@ TEST_F(FileTest, BadMagicIsRejected) {
 
 TEST_F(FileTest, NoTempFileLeftBehind) {
   write_default();
-  std::ifstream tmp{path_ + ".tmp"};
-  EXPECT_FALSE(tmp.good());
+  // Scratch files are "<path>.tmp.<pid>.<tid-hash>" so concurrent writers
+  // never collide; none may survive a successful write.
+  const std::filesystem::path target{path_};
+  for (const auto& entry : std::filesystem::directory_iterator{target.parent_path()}) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(target.filename().string() + ".tmp"), std::string::npos)
+        << "leftover scratch file: " << name;
+  }
 }
 }  // namespace

@@ -1,0 +1,176 @@
+// The parallel campaign engine: results and hooks come back in input order
+// on the calling thread at any job count, parallel campaigns reproduce the
+// serial ones bit for bit, failures surface as the serial campaign would
+// have surfaced them, and the warmup cache actually gets shared.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace greencap::core {
+namespace {
+
+ExperimentConfig small_gemm(const std::string& ladder) {
+  ExperimentConfig cfg;
+  cfg.platform = "32-AMD-4-A100";
+  cfg.op = Operation::kGemm;
+  cfg.precision = hw::Precision::kDouble;
+  cfg.n = 74880;
+  cfg.nb = 5760;
+  cfg.gpu_config = power::GpuConfig::parse(ladder);
+  return cfg;
+}
+
+std::vector<ExperimentConfig> ladder_campaign() {
+  std::vector<ExperimentConfig> configs;
+  for (const char* ladder : {"HHHH", "HHHB", "HHBB", "HBBB", "BBBB", "HHLL"}) {
+    configs.push_back(small_gemm(ladder));
+  }
+  return configs;
+}
+
+TEST(Engine, ResolveJobsSemantics) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);  // 0 = hardware concurrency, at least one
+}
+
+TEST(Engine, ParallelResultsMatchSerialBitForBit) {
+  const std::vector<ExperimentConfig> configs = ladder_campaign();
+
+  EngineOptions serial_opts;
+  serial_opts.jobs = 1;
+  CampaignEngine serial{serial_opts};
+  const std::vector<ExperimentResult> expected = serial.run(configs);
+
+  for (int jobs : {4, 8}) {
+    EngineOptions opts;
+    opts.jobs = jobs;
+    CampaignEngine engine{opts};
+    const std::vector<ExperimentResult> got = engine.run(configs);
+    ASSERT_EQ(got.size(), expected.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].time_s, expected[i].time_s) << "jobs=" << jobs << " run " << i;
+      EXPECT_DOUBLE_EQ(got[i].total_energy_j, expected[i].total_energy_j)
+          << "jobs=" << jobs << " run " << i;
+      EXPECT_DOUBLE_EQ(got[i].efficiency_gflops_per_w, expected[i].efficiency_gflops_per_w)
+          << "jobs=" << jobs << " run " << i;
+      EXPECT_EQ(got[i].cpu_tasks, expected[i].cpu_tasks) << "jobs=" << jobs << " run " << i;
+      EXPECT_EQ(got[i].config.gpu_config.to_string(), expected[i].config.gpu_config.to_string());
+    }
+  }
+}
+
+TEST(Engine, HookFiresInIndexOrderOnTheCallingThread) {
+  const std::vector<ExperimentConfig> configs = ladder_campaign();
+  EngineOptions opts;
+  opts.jobs = 4;
+  CampaignEngine engine{opts};
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  (void)engine.run(configs, [&](std::size_t index, ExperimentResult& result) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_GT(result.time_s, 0.0);
+    order.push_back(index);
+  });
+  ASSERT_EQ(order.size(), configs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Engine, LowestIndexFailureIsTheOneRethrown) {
+  // Index 2 has an invalid geometry (n not a multiple of nb) and index 4
+  // an unknown platform; the serial campaign would die on index 2 first,
+  // so the parallel one must surface that error too.
+  std::vector<ExperimentConfig> configs = ladder_campaign();
+  configs[2].n = 100;
+  configs[2].nb = 33;
+  configs[4].platform = "no-such-platform";
+
+  EngineOptions opts;
+  opts.jobs = 4;
+  CampaignEngine engine{opts};
+  try {
+    (void)engine.run(configs);
+    FAIL() << "expected the campaign to rethrow";
+  } catch (const std::invalid_argument& e) {
+    // Index 2's geometry error, not index 4's unknown-platform error.
+    EXPECT_NE(std::string{e.what()}.find("multiple of nb"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Engine, HookIndicesStopAtTheFailure) {
+  std::vector<ExperimentConfig> configs = ladder_campaign();
+  configs[3].platform = "no-such-platform";
+  EngineOptions opts;
+  opts.jobs = 4;
+  CampaignEngine engine{opts};
+  std::vector<std::size_t> order;
+  EXPECT_THROW((void)engine.run(configs,
+                                [&](std::size_t index, ExperimentResult&) {
+                                  order.push_back(index);
+                                }),
+               std::exception);
+  // The completed prefix 0..2 may fire; nothing at or past the failure may.
+  for (const std::size_t index : order) {
+    EXPECT_LT(index, 3u);
+  }
+}
+
+TEST(Engine, ForEachIndexCoversEveryIndexExactlyOnce) {
+  EngineOptions opts;
+  opts.jobs = 4;
+  CampaignEngine engine{opts};
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> touched(kCount);
+  engine.for_each_index(kCount, [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Engine, ForEachIndexPropagatesTheLowestIndexError) {
+  EngineOptions opts;
+  opts.jobs = 4;
+  CampaignEngine engine{opts};
+  try {
+    engine.for_each_index(16, [&](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error{"index " + std::to_string(i)};
+      }
+    });
+    FAIL() << "expected for_each_index to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+}
+
+TEST(Engine, CampaignSharesTheWarmupCacheAcrossRuns) {
+  // Six runs of the same platform/precision/tile geometry: one best-cap
+  // sweep and a handful of calibration records should serve all of them.
+  EngineOptions opts;
+  opts.jobs = 4;
+  CampaignEngine engine{opts};
+  (void)engine.run(ladder_campaign());
+  EXPECT_GT(engine.cache().hits(), 0u);
+  EXPECT_GT(engine.cache().misses(), 0u);
+  // A second identical campaign must hit for every lookup.
+  const std::uint64_t misses_before = engine.cache().misses();
+  (void)engine.run(ladder_campaign());
+  EXPECT_EQ(engine.cache().misses(), misses_before);
+}
+
+TEST(Engine, EmptyCampaignIsANoOp) {
+  CampaignEngine engine;
+  EXPECT_TRUE(engine.run({}).empty());
+  engine.for_each_index(0, [](std::size_t) { FAIL() << "no indices to visit"; });
+}
+
+}  // namespace
+}  // namespace greencap::core

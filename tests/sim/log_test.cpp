@@ -3,48 +3,45 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace greencap::sim {
 namespace {
 
-/// Captures everything the singleton logger emits for the test's lifetime
-/// and restores the default sink/level afterwards.
-class CaptureSink {
+/// A Logger wired to capture everything it emits. Loggers are plain
+/// values — two fixtures never share state, unlike the old singleton.
+class CapturingLogger {
  public:
-  CaptureSink() {
-    saved_level_ = Logger::instance().level();
-    Logger::instance().set_level(LogLevel::kDebug);
-    Logger::instance().set_sink(
+  CapturingLogger() {
+    logger_.set_level(LogLevel::kDebug);
+    logger_.set_sink(
         [this](LogLevel level, const std::string& msg) { lines_.emplace_back(level, msg); });
   }
-  ~CaptureSink() {
-    Logger::instance().set_sink(nullptr);
-    Logger::instance().set_level(saved_level_);
-  }
 
+  [[nodiscard]] Logger& logger() { return logger_; }
   [[nodiscard]] const std::vector<std::pair<LogLevel, std::string>>& lines() const {
     return lines_;
   }
 
  private:
-  LogLevel saved_level_ = LogLevel::kWarn;
+  Logger logger_;
   std::vector<std::pair<LogLevel, std::string>> lines_;
 };
 
 TEST(Logger, FormatsShortMessages) {
-  CaptureSink capture;
-  Logger::instance().logf(LogLevel::kInfo, "gpu%d capped at %.0f W", 2, 216.0);
+  CapturingLogger capture;
+  capture.logger().logf(LogLevel::kInfo, "gpu%d capped at %.0f W", 2, 216.0);
   ASSERT_EQ(capture.lines().size(), 1u);
   EXPECT_EQ(capture.lines()[0].first, LogLevel::kInfo);
   EXPECT_EQ(capture.lines()[0].second, "gpu2 capped at 216 W");
 }
 
 TEST(Logger, LongMessagesAreNotTruncated) {
-  CaptureSink capture;
+  CapturingLogger capture;
   // Well past the 512-byte stack buffer.
   const std::string payload(2000, 'x');
-  Logger::instance().logf(LogLevel::kWarn, "head %s tail", payload.c_str());
+  capture.logger().logf(LogLevel::kWarn, "head %s tail", payload.c_str());
   ASSERT_EQ(capture.lines().size(), 1u);
   const std::string& msg = capture.lines()[0].second;
   EXPECT_EQ(msg.size(), payload.size() + 10);
@@ -54,22 +51,43 @@ TEST(Logger, LongMessagesAreNotTruncated) {
 }
 
 TEST(Logger, MessageExactlyAtBufferBoundary) {
-  CaptureSink capture;
+  CapturingLogger capture;
   // 511 chars fits (with NUL) in the 512 buffer; 512 chars does not.
   for (const std::size_t len : {511u, 512u, 513u}) {
     const std::string payload(len, 'y');
-    Logger::instance().logf(LogLevel::kError, "%s", payload.c_str());
+    capture.logger().logf(LogLevel::kError, "%s", payload.c_str());
     EXPECT_EQ(capture.lines().back().second, payload) << "len=" << len;
   }
 }
 
 TEST(Logger, LevelFiltersBeforeFormatting) {
-  CaptureSink capture;
-  Logger::instance().set_level(LogLevel::kWarn);
-  Logger::instance().logf(LogLevel::kDebug, "hidden %d", 1);
-  Logger::instance().logf(LogLevel::kError, "shown %d", 2);
+  CapturingLogger capture;
+  capture.logger().set_level(LogLevel::kWarn);
+  capture.logger().logf(LogLevel::kDebug, "hidden %d", 1);
+  capture.logger().logf(LogLevel::kError, "shown %d", 2);
   ASSERT_EQ(capture.lines().size(), 1u);
   EXPECT_EQ(capture.lines()[0].second, "shown 2");
+}
+
+TEST(Logger, IndependentInstancesDoNotShareState) {
+  CapturingLogger a;
+  CapturingLogger b;
+  b.logger().set_level(LogLevel::kError);
+  a.logger().logf(LogLevel::kInfo, "only in a");
+  b.logger().logf(LogLevel::kInfo, "filtered in b");
+  EXPECT_EQ(a.lines().size(), 1u);
+  EXPECT_TRUE(b.lines().empty());
+}
+
+TEST(Logger, ParsesLevelNames) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(parse_log_level("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("loud", &level));
+  EXPECT_EQ(level, LogLevel::kOff);  // untouched on failure
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
 }
 
 }  // namespace

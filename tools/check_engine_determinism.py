@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Determinism gate for the parallel campaign engine (docs/ENGINE.md).
+
+Runs a GreenCap bench binary once per requested --jobs value (serial
+first) in a private working directory each, then byte-compares stdout and
+every exported artifact against the serial run. The engine's contract is
+that results, tables, and artifacts are identical at ANY job count — this
+script is that contract, executable.
+
+Stdlib only. Exit 0 when every job count reproduces the serial bytes,
+1 otherwise.
+
+Example (the CI invocation):
+  check_engine_determinism.py --binary build/bench/fig3_double_configs \
+      --jobs 1,4,8 \
+      -- --quick --csv --summary-json summary.json --trace-json trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def artifact_args(template: list[str], directory: Path) -> tuple[list[str], list[Path]]:
+    """Rewrites FILE operands of known artifact flags to bare filenames
+    (each run uses its own cwd, so stderr lines naming the file stay
+    identical across runs), returning the rewritten argv tail and the
+    artifact paths to compare."""
+    out: list[str] = []
+    artifacts: list[Path] = []
+    expects_file = False
+    for tok in template:
+        if expects_file:
+            name = Path(tok).name
+            artifacts.append(directory / name)
+            out.append(name)
+            expects_file = False
+            continue
+        out.append(tok)
+        # "--csv" is a boolean flag; every other *-json/-csv/-html flag
+        # takes a FILE operand.
+        if tok.startswith("--") and tok != "--csv" and tok.endswith(("-json", "-csv", "-html")):
+            expects_file = True
+    return out, artifacts
+
+
+def run_at(binary: Path, jobs: int, template: list[str], directory: Path):
+    args, artifacts = artifact_args(template, directory)
+    proc = subprocess.run(
+        [str(binary), "--jobs", str(jobs), *args],
+        cwd=directory,
+        capture_output=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(
+            f"FAIL: --jobs {jobs} exited {proc.returncode}\n{proc.stderr.decode()}\n"
+        )
+        sys.exit(1)
+    return proc.stdout, artifacts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, type=Path)
+    parser.add_argument(
+        "--jobs",
+        default="1,4,8",
+        help="comma-separated job counts; the first is the reference (default 1,4,8)",
+    )
+    parser.add_argument("rest", nargs=argparse.REMAINDER,
+                        help="binary arguments after --")
+    args = parser.parse_args()
+    template = args.rest[1:] if args.rest[:1] == ["--"] else args.rest
+    job_counts = [int(j) for j in args.jobs.split(",")]
+
+    with tempfile.TemporaryDirectory(prefix="engine_det_") as tmp:
+        base = Path(tmp)
+        reference_jobs = job_counts[0]
+        ref_dir = base / f"jobs{reference_jobs}"
+        ref_dir.mkdir()
+        ref_stdout, ref_artifacts = run_at(
+            args.binary, reference_jobs, template, ref_dir
+        )
+
+        failures = 0
+        for jobs in job_counts[1:]:
+            run_dir = base / f"jobs{jobs}"
+            run_dir.mkdir()
+            stdout, artifacts = run_at(args.binary, jobs, template, run_dir)
+            if stdout != ref_stdout:
+                sys.stderr.write(f"FAIL: stdout differs at --jobs {jobs}\n")
+                failures += 1
+            for ref_path, path in zip(ref_artifacts, artifacts):
+                if not path.exists():
+                    sys.stderr.write(
+                        f"FAIL: {path.name} missing at --jobs {jobs}\n"
+                    )
+                    failures += 1
+                elif path.read_bytes() != ref_path.read_bytes():
+                    sys.stderr.write(
+                        f"FAIL: {path.name} differs at --jobs {jobs}\n"
+                    )
+                    failures += 1
+            if failures == 0:
+                print(f"ok: --jobs {jobs} is byte-identical to --jobs {reference_jobs} "
+                      f"(stdout + {len(artifacts)} artifact(s))")
+
+        if failures:
+            sys.stderr.write(f"{failures} determinism failure(s)\n")
+            return 1
+    print(f"engine determinism: all of --jobs {args.jobs} byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@
 #include "ckpt/signal.hpp"
 #include "core/checkpoint.hpp"
 #include "core/cli_flags.hpp"
+#include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/paper_params.hpp"
 #include "core/report.hpp"
@@ -54,6 +55,8 @@ namespace {
       "  --baseline          also run all-H and print deltas\n"
       "  --stale-models      maladaptation ablation (no recalibration)\n"
       "  --seed N            RNG seed (default 42)\n"
+      "  --jobs N            worker threads for multi-run campaigns\n"
+      "                      (default 1 = serial; 0 = hardware concurrency)\n"
       "observability:\n"
       "  --trace-json FILE        Chrome/Perfetto trace-event export\n"
       "  --metrics-json FILE      metrics registry snapshot\n"
@@ -117,6 +120,7 @@ int main(int argc, char** argv) {
   std::string profile_json, profile_html;
   std::string degradation_json;
   bool model_report = false;
+  int jobs = 1;
   core::CheckpointOptions ckpt_opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -165,6 +169,7 @@ int main(int argc, char** argv) {
   parser.flag("--baseline", &baseline);
   parser.flag("--stale-models", &cfg.stale_models);
   parser.u64("--seed", &cfg.seed);
+  parser.i32("--jobs", &jobs);
   parser.str("--trace-json", &trace_json);
   parser.str("--metrics-json", &metrics_json);
   parser.f64("--telemetry-period-ms", &cfg.obs.telemetry_period_ms);
@@ -187,6 +192,20 @@ int main(int argc, char** argv) {
   parser.i32("--ckpt-kill-after", &ckpt_opts.kill_after);
   if (const std::string err = parser.parse(argc, argv); !err.empty()) {
     std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+    return 2;
+  }
+  if (jobs < 0) {
+    std::fprintf(stderr, "%s: --jobs expects a non-negative value, got %d\n", argv[0], jobs);
+    return 2;
+  }
+  const bool ckpt_active = !ckpt_opts.path.empty() || !ckpt_opts.resume_path.empty() ||
+                           ckpt_opts.every_ms > 0.0 || ckpt_opts.watchdog_ms > 0.0;
+  if (ckpt_active && jobs != 1) {
+    std::fprintf(stderr,
+                 "%s: --checkpoint/--resume/--checkpoint-every-ms/--watchdog-ms require "
+                 "--jobs 1 (checkpoint sessions are serial); drop --jobs or the checkpoint "
+                 "flags\n",
+                 argv[0]);
     return 2;
   }
 
@@ -233,8 +252,7 @@ int main(int argc, char** argv) {
     // commit each fresh result AFTER its artifacts are exported so a
     // resume never re-exports them.
     std::shared_ptr<core::CheckpointSession> session;
-    if (!ckpt_opts.path.empty() || !ckpt_opts.resume_path.empty() ||
-        ckpt_opts.every_ms > 0.0 || ckpt_opts.watchdog_ms > 0.0) {
+    if (ckpt_active) {
       greencap::ckpt::install_signal_handlers();
       session = std::make_shared<core::CheckpointSession>(ckpt_opts);
     }
@@ -251,7 +269,31 @@ int main(int argc, char** argv) {
                                 : core::run_experiment(c);
     };
 
-    const core::ExperimentResult result = run_one(cfg);
+    const bool want_baseline = baseline && !cfg.gpu_config.is_default();
+    core::ExperimentConfig base_cfg = cfg;
+    if (want_baseline) {
+      base_cfg.gpu_config = power::GpuConfig::uniform(gpus, power::Level::kHigh);
+      base_cfg.cpu_cap.reset();
+    }
+
+    core::ExperimentResult result;
+    std::optional<core::ExperimentResult> base;
+    if (session != nullptr) {
+      // Checkpoint sessions are serial by design: prefix replay, then run.
+      result = run_one(cfg);
+    } else {
+      // Everything else goes through the campaign engine; with --baseline
+      // the two runs fan out across the pool and still print in serial
+      // order because results come back by input index.
+      std::vector<core::ExperimentConfig> configs{cfg};
+      if (want_baseline) configs.push_back(base_cfg);
+      core::EngineOptions eng;
+      eng.jobs = jobs;
+      core::CampaignEngine engine{eng};
+      auto results = engine.run(configs);
+      result = std::move(results[0]);
+      if (want_baseline) base = std::move(results[1]);
+    }
     print_result("experiment", result);
     if (cfg.resilience.any()) {
       const auto& fc = result.fault_counts;
@@ -318,19 +360,18 @@ int main(int argc, char** argv) {
     if (session != nullptr && fresh) {
       session->commit(cfg, result);
     }
-    if (baseline && !cfg.gpu_config.is_default()) {
-      core::ExperimentConfig base_cfg = cfg;
-      base_cfg.gpu_config = power::GpuConfig::uniform(gpus, power::Level::kHigh);
-      base_cfg.cpu_cap.reset();
-      const core::ExperimentResult base = run_one(base_cfg);
-      if (session != nullptr && fresh) {
-        session->commit(base_cfg, base);
+    if (want_baseline) {
+      if (session != nullptr) {
+        base = run_one(base_cfg);
+        if (fresh) {
+          session->commit(base_cfg, *base);
+        }
       }
-      print_result("baseline", base);
+      print_result("baseline", *base);
       std::printf("deltas vs baseline: perf %+.2f %%, energy saving %+.2f %%, "
                   "efficiency %+.2f %%\n",
-                  result.perf_delta_pct(base), result.energy_saving_pct(base),
-                  result.efficiency_gain_pct(base));
+                  result.perf_delta_pct(*base), result.energy_saving_pct(*base),
+                  result.efficiency_gain_pct(*base));
     }
     if (session != nullptr) {
       session->check_interrupt();
